@@ -1,0 +1,75 @@
+"""Figure 2 (left): 12xPVC, FP32 GEMM, MLP-1 (m=batch, n=48K, k=12K).
+
+Regenerates the percent-of-peak series for the six universal-algorithm
+partitioning families (best replication factor and data-movement strategy per
+batch size) and the DTensor row/column comparators, and checks the
+qualitative findings the paper reports for this panel:
+
+* column-block and inner-product partitionings — the ones that only move the
+  A matrix — are the strongest UA configurations;
+* the row partitioning, which must move the large B matrix, is the weakest;
+* the best UA configuration is competitive with (here: at least as good as)
+  the best DTensor sharding.
+"""
+
+import pytest
+
+from benchmarks.harness_common import figure_points, render_figure
+from repro.bench.report import series_from_points
+from repro.bench.schemes import scheme_by_name
+from repro.bench.sweep import run_ua_point
+from repro.bench.workloads import mlp1_workload
+from repro.core.config import ExecutionConfig
+from repro.topology.machines import pvc_system
+
+MACHINE = pvc_system(12)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return figure_points(MACHINE, "mlp1")
+
+
+class TestFigure2Mlp1:
+    def test_regenerate_figure(self, points):
+        text = render_figure("fig2_mlp1_pvc", "Figure 2 (left): 12xPVC FP32 MLP-1 H=12K",
+                             points)
+        assert "UA - Column" in text and "DT - Row" in text
+
+    def test_column_and_inner_product_lead(self, points):
+        series = series_from_points(points)
+        at_8192 = {name: dict(values)[8192] for name, values in series.items()
+                   if name.startswith("UA")}
+        leaders = sorted(at_8192, key=at_8192.get, reverse=True)[:3]
+        assert "UA - Column" in leaders
+        assert at_8192["UA - Column"] >= at_8192["UA - Row"]
+        assert at_8192["UA - Inner Prod."] >= at_8192["UA - Row"]
+
+    def test_row_partitioning_is_weakest_ua(self, points):
+        series = series_from_points(points)
+        at_8192 = {name: dict(values)[8192] for name, values in series.items()
+                   if name.startswith("UA")}
+        assert min(at_8192, key=at_8192.get) == "UA - Row"
+
+    def test_ua_best_competitive_with_dtensor(self, points):
+        series = series_from_points(points)
+        for batch in (2048, 4096, 8192):
+            ua_best = max(dict(values)[batch] for name, values in series.items()
+                          if name.startswith("UA"))
+            dt_best = max(dict(values)[batch] for name, values in series.items()
+                          if name.startswith("DT"))
+            assert ua_best >= 0.95 * dt_best
+
+    def test_percent_of_peak_increases_with_batch(self, points):
+        series = series_from_points(points)
+        column = dict(series["UA - Column"])
+        assert column[8192] > column[1024]
+
+
+def test_benchmark_single_point(benchmark):
+    """pytest-benchmark target: one harness evaluation (op generation + simulation)."""
+    workload = mlp1_workload(4096)
+    scheme = scheme_by_name("column")
+    config = ExecutionConfig(simulate_only=True)
+    result = benchmark(run_ua_point, MACHINE, workload, scheme, (1, 1, 1), "C", config)
+    assert result.percent_of_peak > 0

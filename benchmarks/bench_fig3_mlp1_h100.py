@@ -1,0 +1,80 @@
+"""Figure 3 (left): 8xH100, FP32 GEMM, MLP-1 (m=batch, n=48K, k=12K).
+
+Same sweep as Figure 2 (left) but on the H100 machine model, plus the
+COSMA-NCCL baseline.  The paper's findings for this panel:
+
+* the spread between partitionings is much smaller than on PVC because the
+  per-FLOP link bandwidth is ~17x higher — communication is less of a
+  bottleneck;
+* column and inner-product partitionings still lead, especially at small
+  batch sizes;
+* COSMA performs poorly on this very rectangular problem.
+"""
+
+import pytest
+
+from benchmarks.harness_common import figure_points, render_figure
+from repro.bench.report import series_from_points
+from repro.bench.schemes import scheme_by_name
+from repro.bench.sweep import run_ua_point
+from repro.bench.workloads import mlp1_workload
+from repro.core.config import ExecutionConfig
+from repro.topology.machines import h100_system, pvc_system
+
+MACHINE = h100_system(8)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return figure_points(MACHINE, "mlp1", include_cosma=True)
+
+
+@pytest.fixture(scope="module")
+def pvc_points():
+    return figure_points(pvc_system(12), "mlp1")
+
+
+class TestFigure3Mlp1:
+    def test_regenerate_figure(self, points):
+        text = render_figure("fig3_mlp1_h100", "Figure 3 (left): 8xH100 FP32 MLP-1 H=12K",
+                             points)
+        assert "COSMA-NCCL" in text
+
+    def test_partitioning_spread_smaller_than_on_pvc(self, points, pvc_points):
+        def spread(point_list):
+            series = series_from_points(point_list)
+            at_8192 = [dict(values)[8192] for name, values in series.items()
+                       if name.startswith("UA")]
+            return max(at_8192) - min(at_8192)
+
+        assert spread(points) < spread(pvc_points)
+
+    def test_column_still_among_leaders_at_small_batch(self, points):
+        series = series_from_points(points)
+        at_1024 = {name: dict(values)[1024] for name, values in series.items()
+                   if name.startswith("UA")}
+        leaders = sorted(at_1024, key=at_1024.get, reverse=True)[:3]
+        assert "UA - Column" in leaders or "UA - Inner Prod." in leaders
+
+    def test_cosma_below_best_ua(self, points):
+        series = series_from_points(points)
+        for batch in (1024, 8192):
+            ua_best = max(dict(values)[batch] for name, values in series.items()
+                          if name.startswith("UA"))
+            cosma = dict(series["COSMA-NCCL"])[batch]
+            assert cosma <= ua_best
+
+    def test_ua_competitive_with_dtensor(self, points):
+        series = series_from_points(points)
+        at_8192 = {name: dict(values)[8192] for name, values in series.items()}
+        ua_best = max(value for name, value in at_8192.items() if name.startswith("UA"))
+        dt_best = max(value for name, value in at_8192.items() if name.startswith("DT"))
+        assert ua_best >= 0.9 * dt_best
+
+
+def test_benchmark_single_point(benchmark):
+    workload = mlp1_workload(4096)
+    scheme = scheme_by_name("column")
+    config = ExecutionConfig(simulate_only=True)
+    result = benchmark(run_ua_point, MACHINE, workload, scheme, (1, 1, 1), "C", config)
+    assert result.percent_of_peak > 0

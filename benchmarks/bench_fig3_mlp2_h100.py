@@ -1,0 +1,85 @@
+"""Figure 3 (right): 8xH100, FP32 GEMM, MLP-2 (m=batch, n=12K, k=48K).
+
+The paper's findings for this panel:
+
+* the partitioning spread is again much smaller than on PVC;
+* unlike on PVC, the outer-product partitioning loses its advantage, because
+  the remote-accumulate kernel interferes with the local GEMMs on H100
+  (modelled via ``accumulate_compute_interference``), so Stationary-C
+  configurations that move A instead win;
+* the best UA configuration generally matches or exceeds DTensor.
+"""
+
+import pytest
+
+from benchmarks.harness_common import figure_points, render_figure
+from repro.bench.report import series_from_points
+from repro.bench.schemes import scheme_by_name
+from repro.bench.sweep import run_ua_point
+from repro.bench.workloads import mlp2_workload
+from repro.core.config import ExecutionConfig
+from repro.topology.machines import h100_system, pvc_system
+
+MACHINE = h100_system(8)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return figure_points(
+        MACHINE, "mlp2",
+        include_cosma=True,
+        mixed_output_replication=True,
+        stationary_options=("B", "C"),
+        replication_factors=[1, 2, 4, 8],
+    )
+
+
+@pytest.fixture(scope="module")
+def pvc_points():
+    return figure_points(pvc_system(12), "mlp2", stationary_options=("B", "C"),
+                         replication_factors=[1, 2, 3, 6])
+
+
+class TestFigure3Mlp2:
+    def test_regenerate_figure(self, points):
+        text = render_figure("fig3_mlp2_h100",
+                             "Figure 3 (right): 8xH100 FP32 MLP-2 H=12K", points)
+        assert "UA - Outer Prod." in text and "COSMA-NCCL" in text
+
+    def test_spread_smaller_than_on_pvc(self, points, pvc_points):
+        def spread(point_list):
+            series = series_from_points(point_list)
+            at_8192 = [dict(values)[8192] for name, values in series.items()
+                       if name.startswith("UA")]
+            return max(at_8192) - min(at_8192)
+
+        assert spread(points) < spread(pvc_points)
+
+    def test_outer_product_advantage_disappears_on_h100(self, points, pvc_points):
+        """On PVC outer-product is at/near the top for MLP-2; on H100 its margin
+        over the Stationary-C alternatives vanishes (paper Section 5.2.1)."""
+
+        def outer_margin(point_list):
+            series = series_from_points(point_list)
+            at_8192 = {name: dict(values)[8192] for name, values in series.items()
+                       if name.startswith("UA")}
+            others = [value for name, value in at_8192.items()
+                      if name != "UA - Outer Prod."]
+            return at_8192["UA - Outer Prod."] - max(others)
+
+        assert outer_margin(points) < outer_margin(pvc_points)
+
+    def test_best_method_matches_or_exceeds_dtensor(self, points):
+        series = series_from_points(points)
+        at_8192 = {name: dict(values)[8192] for name, values in series.items()}
+        ua_best = max(value for name, value in at_8192.items() if name.startswith("UA"))
+        dt_best = max(value for name, value in at_8192.items() if name.startswith("DT"))
+        assert ua_best >= 0.9 * dt_best
+
+
+def test_benchmark_single_point(benchmark):
+    workload = mlp2_workload(4096)
+    scheme = scheme_by_name("block")
+    config = ExecutionConfig(simulate_only=True)
+    result = benchmark(run_ua_point, MACHINE, workload, scheme, (1, 1, 1), "B", config)
+    assert result.percent_of_peak > 0

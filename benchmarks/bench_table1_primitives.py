@@ -1,0 +1,87 @@
+"""Table 1: the distributed-matrix primitive set.
+
+The paper's Table 1 is an API table rather than a measurement, so this
+benchmark (experiment E1) does two things: it verifies that every primitive
+listed in the table exists and behaves as documented, and it measures the
+Python-side cost of each primitive on a representative distributed matrix so
+regressions in the data-structure layer are caught.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness_common import write_result
+from repro.dist.matrix import DistributedMatrix
+from repro.dist.partition import Block2D
+from repro.runtime.runtime import Runtime
+from repro.topology.machines import pvc_system
+from repro.util.indexing import Rect
+
+TABLE1_PRIMITIVES = [
+    ("grid_shape()", "Return the shape of the matrix's tile grid."),
+    ("tile(tile_idx, replica_idx)", "Returns view of tile tile_idx in replica replica_idx."),
+    ("get_tile(tile_idx, replica_idx)", "Returns copy of tile tile_idx in replica replica_idx."),
+    ("get_tile_async(tile_idx, replica_idx)", "Returns future to copy of tile."),
+    ("accumulate_tile(replica_idx, tile_idx, view)", "Accumulate into remote tile."),
+    ("broadcast_replica(origin_idx)", "Broadcast tiles from replica origin_idx to other replicas."),
+    ("reduce_replicas(origin_idx)", "Accumulate values from all replicas into replica origin_idx."),
+    ("overlapping_tiles(slice, replica_idx)", "Return list of tiles that overlap with slice."),
+    ("tile_bounds(tile_idx)", "Return the index bounds of the tile tile_idx."),
+]
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    runtime = Runtime(machine=pvc_system(12))
+    dm = DistributedMatrix.create(runtime, (1536, 1536), Block2D(), replication=2,
+                                  dtype=np.float32, name="bench")
+    dm.fill_random(seed=0)
+    return dm
+
+
+def test_table1_primitives_all_present(matrix):
+    """Every row of Table 1 maps to an implemented method."""
+    rows = []
+    for signature, description in TABLE1_PRIMITIVES:
+        method = signature.split("(")[0]
+        assert hasattr(matrix, method), f"missing Table-1 primitive: {method}"
+        rows.append(f"{signature:<48s} {description}")
+    write_result("table1_primitives", "\n".join(rows))
+
+
+class TestPrimitiveBenchmarks:
+    def test_grid_shape(self, benchmark, matrix):
+        # replication=2 over 12 devices -> each replica is partitioned over 6.
+        assert benchmark(matrix.grid_shape) == (2, 3)
+
+    def test_tile_bounds(self, benchmark, matrix):
+        bounds = benchmark(matrix.tile_bounds, (1, 1))
+        assert bounds.size > 0
+
+    def test_overlapping_tiles(self, benchmark, matrix):
+        rect = Rect.from_bounds(100, 900, 100, 900)
+        tiles = benchmark(matrix.overlapping_tiles, rect)
+        assert len(tiles) >= 4
+
+    def test_tile_view(self, benchmark, matrix):
+        owner = matrix.owner_rank((0, 0), 0)
+        view = benchmark(lambda: matrix.tile((0, 0), 0, rank=owner))
+        assert view.shape == matrix.tile_bounds((0, 0)).shape
+
+    def test_get_tile(self, benchmark, matrix):
+        tile = benchmark(lambda: matrix.get_tile((1, 2), 0, initiator=0))
+        assert tile.shape == matrix.tile_bounds((1, 2)).shape
+
+    def test_get_tile_async(self, benchmark, matrix):
+        future = benchmark(lambda: matrix.get_tile_async((1, 1), 0, initiator=0))
+        assert future.done()
+
+    def test_accumulate_tile(self, benchmark, matrix):
+        update = np.ones(matrix.tile_bounds((0, 1)).shape, dtype=np.float32)
+        benchmark(lambda: matrix.accumulate_tile((0, 1), update, 0, initiator=5))
+
+    def test_broadcast_replica(self, benchmark, matrix):
+        benchmark(matrix.broadcast_replica, 0)
+
+    def test_reduce_replicas(self, benchmark, matrix):
+        benchmark(matrix.reduce_replicas, 0)

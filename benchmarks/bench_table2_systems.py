@@ -1,0 +1,51 @@
+"""Table 2: system details of the PVC and H100 evaluation machines.
+
+Regenerates the table from the machine presets (experiment E2) and also
+benchmarks the modelled transfer-time queries that every simulation relies on.
+"""
+
+import pytest
+
+from benchmarks.harness_common import write_result
+from repro.topology.machines import GB, TFLOP, h100_system, pvc_system
+
+
+def test_regenerate_table2():
+    rows = ["System  Devices  Link BW      FP32 Peak",
+            "------  -------  -----------  ----------"]
+    expectations = {
+        "pvc": (12, 26.5, 22.7),
+        "h100": (8, 450.0, 67.0),
+    }
+    for name, machine in (("pvc", pvc_system()), ("h100", h100_system())):
+        devices, link_gb, peak_tf = expectations[name]
+        # Cross-GPU link bandwidth (the Table-2 number) and per-device peak.
+        remote_bw = machine.topology.min_remote_bandwidth()
+        assert machine.num_devices == devices
+        assert remote_bw == pytest.approx(link_gb * GB)
+        assert machine.flops_peak == pytest.approx(peak_tf * TFLOP)
+        rows.append(
+            f"{name.upper():<7s} {machine.num_devices:<8d} "
+            f"{remote_bw / GB:>6.1f} GB/s  {machine.flops_peak / TFLOP:>5.1f} TFLOPs"
+        )
+    write_result("table2_systems", "\n".join(rows))
+
+
+def test_h100_has_more_bandwidth_per_flop():
+    """The ratio that explains why Figure 3's curves are compressed."""
+    pvc = pvc_system()
+    h100 = h100_system()
+    pvc_ratio = pvc.topology.min_remote_bandwidth() / pvc.flops_peak
+    h100_ratio = h100.topology.min_remote_bandwidth() / h100.flops_peak
+    assert h100_ratio > 5 * pvc_ratio
+
+
+def test_benchmark_transfer_time_query(benchmark):
+    machine = pvc_system(12)
+    time = benchmark(machine.topology.transfer_time, 0, 5, 1 << 26)
+    assert time > 0
+
+
+def test_benchmark_machine_construction(benchmark):
+    machine = benchmark(pvc_system, 12)
+    assert machine.num_devices == 12

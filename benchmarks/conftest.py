@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index).  The regenerated series are printed to
+stdout *and* written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md
+can reference them; the pytest-benchmark timings measure the harness itself
+(op generation + simulation) rather than the modelled GPU times, which are
+reported inside the figures.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a regenerated figure/table under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,69 @@
+"""Helpers shared by the benchmark modules (result persistence, sweep presets)."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from repro.bench.report import print_figure
+from repro.bench.sweep import (
+    SweepPoint,
+    best_per_scheme,
+    run_cosma_series,
+    run_dtensor_series,
+    run_ua_sweep,
+)
+from repro.bench.workloads import BATCH_SIZES, mlp1_workload, mlp2_workload
+from repro.core.config import ExecutionConfig
+from repro.topology.machines import MachineSpec
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a regenerated figure/table under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+def figure_points(
+    machine: MachineSpec,
+    layer: str,
+    batches: Sequence[int] = BATCH_SIZES,
+    mixed_output_replication: bool = False,
+    include_cosma: bool = False,
+    stationary_options: Sequence[str] = ("A", "B", "C"),
+    replication_factors: Optional[Sequence[int]] = None,
+) -> List[SweepPoint]:
+    """Regenerate one figure panel: the best UA bar per scheme plus comparators.
+
+    ``layer`` is "mlp1" or "mlp2"; the full paper batch sizes are used by
+    default.  Mixed output replication reproduces the "c_AB-c_C" annotations of
+    the MLP-2 panels.
+    """
+    make = mlp1_workload if layer == "mlp1" else mlp2_workload
+    workloads = [make(batch) for batch in batches]
+    config = ExecutionConfig(simulate_only=True)
+    ua_points = run_ua_sweep(
+        machine,
+        workloads,
+        replication_factors=replication_factors,
+        mixed_output_replication=mixed_output_replication,
+        stationary_options=stationary_options,
+        config=config,
+    )
+    points = best_per_scheme(ua_points)
+    points += run_dtensor_series(machine, workloads)
+    if include_cosma:
+        points += run_cosma_series(machine, workloads)
+    return points
+
+
+def render_figure(name: str, title: str, points: Sequence[SweepPoint]) -> str:
+    """Print the figure text and persist it under benchmarks/results/."""
+    text = print_figure(title, points)
+    write_result(name, text)
+    return text

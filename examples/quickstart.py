@@ -1,0 +1,54 @@
+"""Quickstart: multiply two distributed matrices with the universal algorithm.
+
+Run with ``python examples/quickstart.py``.
+
+The example builds the 12-device PVC machine model from the paper's Table 2,
+distributes three matrices with *different* partitionings (the situation that
+forces existing SPMD systems to reshard), multiplies them with a single call
+to :func:`repro.universal_matmul`, and verifies the result against NumPy.
+"""
+
+import numpy as np
+
+from repro import (
+    Block2D,
+    ColumnBlock,
+    DistributedMatrix,
+    RowBlock,
+    Runtime,
+    universal_matmul,
+)
+from repro.topology import pvc_system
+
+
+def main() -> None:
+    # 1. A runtime hosting 12 simulated devices with the PVC interconnect model.
+    runtime = Runtime(machine=pvc_system(12))
+
+    # 2. Operands with deliberately mismatched partitionings.
+    rng = np.random.default_rng(0)
+    m, k, n = 768, 512, 640
+    a_dense = rng.standard_normal((m, k)).astype(np.float32)
+    b_dense = rng.standard_normal((k, n)).astype(np.float32)
+
+    a = DistributedMatrix.from_dense(runtime, a_dense, RowBlock(), name="A")
+    b = DistributedMatrix.from_dense(runtime, b_dense, ColumnBlock(), name="B")
+    c = DistributedMatrix.create(runtime, (m, n), Block2D(), name="C")
+
+    # 3. One algorithm for any combination of partitionings.
+    result = universal_matmul(a, b, c)
+
+    # 4. The data is really there — compare against NumPy.
+    np.testing.assert_allclose(c.to_dense(), a_dense @ b_dense, rtol=1e-3, atol=1e-3)
+
+    print("universal_matmul succeeded")
+    print(f"  data movement strategy : Stationary {result.stationary.value}")
+    print(f"  local matmul ops       : {result.total_ops}")
+    print(f"  remote gets            : {result.remote_get_bytes / 1e6:.2f} MB")
+    print(f"  remote accumulates     : {result.remote_accumulate_bytes / 1e6:.2f} MB")
+    print(f"  modelled time          : {result.simulated_time * 1e3:.3f} ms")
+    print(f"  percent of FP32 peak   : {result.percent_of_peak:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The project is configured in ``pyproject.toml``; this file exists so that the
+package can be installed in editable mode on machines where the ``wheel``
+package (needed for PEP 660 editable wheels) is unavailable:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — a universal one-sided algorithm for distributed matrix multiplication.
+
+Reproduction of Brock & Golin, "Slicing Is All You Need: Towards A Universal
+One-Sided Algorithm for Distributed Matrix Multiplication" (SC 2025), as a
+pure-Python library: a simulated PGAS runtime with one-sided communication,
+the distributed-matrix data structure with arbitrary partitionings and
+replication factors, the slicing-based universal algorithm with direct and
+IR-lowered execution, classical baselines (SUMMA, Cannon, 1.5D/2.5D, a
+COSMA-style selector), a DTensor-like SPMD comparator, and the benchmark
+harness that regenerates the paper's figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Runtime, DistributedMatrix, ColumnBlock, universal_matmul
+    from repro.topology import pvc_system
+
+    rt = Runtime(machine=pvc_system(12))
+    a = DistributedMatrix.from_dense(rt, np.random.rand(512, 256).astype(np.float32),
+                                     ColumnBlock(), name="A")
+    b = DistributedMatrix.from_dense(rt, np.random.rand(256, 384).astype(np.float32),
+                                     ColumnBlock(), name="B")
+    c = DistributedMatrix.create(rt, (512, 384), ColumnBlock(), name="C")
+    result = universal_matmul(a, b, c)
+    np.testing.assert_allclose(c.to_dense(), a.to_dense() @ b.to_dense(), rtol=1e-4)
+"""
+
+from repro._version import __version__
+from repro.runtime import Runtime
+from repro.topology import MachineSpec, get_system, h100_system, pvc_system
+from repro.dist import (
+    Block2D,
+    BlockCyclic,
+    ColumnBlock,
+    CustomTiles,
+    DistributedMatrix,
+    RowBlock,
+    redistribute,
+)
+from repro.core import (
+    CostModel,
+    ExecutionConfig,
+    ExecutionMode,
+    ExecutionResult,
+    LoweringStrategy,
+    Stationary,
+    plan_ops,
+    universal_matmul,
+)
+
+__all__ = [
+    "__version__",
+    "Runtime",
+    "MachineSpec",
+    "get_system",
+    "h100_system",
+    "pvc_system",
+    "Block2D",
+    "BlockCyclic",
+    "ColumnBlock",
+    "CustomTiles",
+    "DistributedMatrix",
+    "RowBlock",
+    "redistribute",
+    "CostModel",
+    "ExecutionConfig",
+    "ExecutionMode",
+    "ExecutionResult",
+    "LoweringStrategy",
+    "Stationary",
+    "plan_ops",
+    "universal_matmul",
+]

@@ -1,0 +1,71 @@
+"""Plain-text reporting of sweep results in the shape of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bench.sweep import SweepPoint
+
+
+def format_table(points: Sequence[SweepPoint]) -> str:
+    """Render sweep points as an aligned text table (one row per point)."""
+    rows = [point.row() for point in points]
+    if not rows:
+        return "(no results)"
+    columns = ["series", "batch", "percent_of_peak", "simulated_time_ms",
+               "stationary", "replication"]
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def series_from_points(points: Iterable[SweepPoint]) -> Dict[str, List[Tuple[int, float]]]:
+    """Group points into figure series: ``{series: [(batch, percent_of_peak), ...]}``."""
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for point in points:
+        series.setdefault(point.series, []).append((point.batch, point.percent_of_peak))
+    for values in series.values():
+        values.sort(key=lambda pair: pair[0])
+    return series
+
+
+def print_figure(title: str, points: Sequence[SweepPoint]) -> str:
+    """Produce the text rendition of one figure panel (and return it).
+
+    The output lists, per series, percent-of-peak at each batch size, plus the
+    replication/stationary annotations the paper prints above the bars.
+    """
+    lines = [title, "=" * len(title)]
+    series = series_from_points(points)
+    annotations: Dict[str, Dict[int, str]] = {}
+    for point in points:
+        annotations.setdefault(point.series, {})[point.batch] = (
+            f"c={point.replication_label}"
+            + (f",S-{point.stationary}" if point.stationary else "")
+        )
+    batches = sorted({batch for values in series.values() for batch, _ in values})
+    header = "series".ljust(22) + "".join(f"{batch:>18}" for batch in batches)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(series):
+        cells = []
+        values = dict(series[name])
+        for batch in batches:
+            if batch in values:
+                annotation = annotations.get(name, {}).get(batch, "")
+                cells.append(f"{values[batch]:6.1f}% {annotation}".rjust(18))
+            else:
+                cells.append(" " * 18)
+        lines.append(name.ljust(22) + "".join(cells))
+    text = "\n".join(lines)
+    print(text)
+    return text

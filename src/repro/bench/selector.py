@@ -1,0 +1,134 @@
+"""Automatic partitioning/replication selection (the paper's future-work hook).
+
+The paper's conclusion notes that it "does not address the issue of how to
+select an optimal partitioning for a particular problem" and points to
+COSMA-style techniques as the natural companion.  Because the universal
+algorithm makes *every* combination executable, selection reduces to a search
+over the design space with the cost model — which is exactly what the sweep
+driver already does.  This module packages that search as a small planner:
+
+* enumerate the partitioning families, replication factors, and data-movement
+  strategies that fit a per-device memory budget,
+* score each candidate with the simulate-only execution model, and
+* return a :class:`PartitioningRecommendation` that can be applied directly
+  (it knows how to build the distributed matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.schemes import PartitioningScheme, ua_schemes
+from repro.bench.sweep import run_ua_point, valid_replication_factors
+from repro.bench.workloads import Workload
+from repro.core.config import ExecutionConfig
+from repro.dist.matrix import DistributedMatrix
+from repro.runtime.runtime import Runtime
+from repro.topology.machines import MachineSpec
+
+
+@dataclass(frozen=True)
+class PartitioningRecommendation:
+    """One evaluated configuration of the design space."""
+
+    scheme: PartitioningScheme
+    replication: Tuple[int, int, int]
+    stationary: str
+    percent_of_peak: float
+    simulated_time: float
+    memory_per_device: int
+
+    def describe(self) -> str:
+        rep_a, rep_b, rep_c = self.replication
+        return (
+            f"{self.scheme.label}: replication A/B/C = {rep_a}/{rep_b}/{rep_c}, "
+            f"Stationary {self.stationary}, "
+            f"{self.percent_of_peak:.1f}% of peak, "
+            f"{self.memory_per_device / 1e9:.2f} GB per device"
+        )
+
+    def build_matrices(
+        self, runtime: Runtime, workload: Workload, dtype="float32",
+        materialize: bool = True,
+    ) -> Tuple[DistributedMatrix, DistributedMatrix, DistributedMatrix]:
+        """Instantiate A, B, C under this recommendation on the given runtime."""
+        rep_a, rep_b, rep_c = self.replication
+        p = runtime.num_ranks
+        part_a, part_b, part_c = self.scheme.partitions(
+            workload, p // rep_a, p // rep_b, p // rep_c
+        )
+        a_shape, b_shape, c_shape = workload.shapes
+        a = DistributedMatrix.create(runtime, a_shape, part_a, replication=rep_a,
+                                     dtype=dtype, name="A", materialize=materialize)
+        b = DistributedMatrix.create(runtime, b_shape, part_b, replication=rep_b,
+                                     dtype=dtype, name="B", materialize=materialize)
+        c = DistributedMatrix.create(runtime, c_shape, part_c, replication=rep_c,
+                                     dtype=dtype, name="C", materialize=materialize)
+        return a, b, c
+
+
+def _memory_per_device(workload: Workload, replication: Tuple[int, int, int],
+                       num_devices: int, itemsize: int = 4) -> int:
+    """Worst-case bytes of A+B+C tile storage on one device."""
+    (am, ak), (bk, bn), (cm, cn) = workload.shapes
+    rep_a, rep_b, rep_c = replication
+    per_device = 0
+    for (rows, cols), factor in (((am, ak), rep_a), ((bk, bn), rep_b), ((cm, cn), rep_c)):
+        procs_per_replica = max(1, num_devices // factor)
+        per_device += -(-rows * cols // procs_per_replica) * itemsize
+    return per_device
+
+
+def recommend_partitioning(
+    machine: MachineSpec,
+    workload: Workload,
+    memory_budget_bytes: Optional[float] = None,
+    schemes: Optional[Sequence[PartitioningScheme]] = None,
+    replication_factors: Optional[Sequence[int]] = None,
+    stationary_options: Sequence[str] = ("A", "B", "C"),
+    top_k: int = 1,
+    itemsize: int = 4,
+) -> List[PartitioningRecommendation]:
+    """Search the partitioning design space and return the best configuration(s).
+
+    ``memory_budget_bytes`` (per device) defaults to the machine's memory
+    capacity; configurations that would not fit are skipped, which is how
+    replication trades memory for communication exactly as in the 1.5D/2.5D
+    literature the paper builds on.
+    """
+    if memory_budget_bytes is None:
+        memory_budget_bytes = machine.memory_capacity
+    schemes = list(schemes) if schemes is not None else ua_schemes()
+    factors = valid_replication_factors(machine.num_devices, replication_factors)
+    config = ExecutionConfig(simulate_only=True)
+
+    candidates: List[PartitioningRecommendation] = []
+    for scheme in schemes:
+        for factor in factors:
+            for c_factor in factors:
+                replication = (factor, factor, c_factor)
+                footprint = _memory_per_device(workload, replication,
+                                               machine.num_devices, itemsize)
+                if footprint > memory_budget_bytes:
+                    continue
+                for stationary in stationary_options:
+                    point = run_ua_point(machine, workload, scheme, replication,
+                                         stationary, config)
+                    candidates.append(
+                        PartitioningRecommendation(
+                            scheme=scheme,
+                            replication=replication,
+                            stationary=stationary,
+                            percent_of_peak=point.percent_of_peak,
+                            simulated_time=point.simulated_time,
+                            memory_per_device=footprint,
+                        )
+                    )
+    if not candidates:
+        raise ValueError(
+            "no partitioning fits the per-device memory budget "
+            f"({memory_budget_bytes / 1e9:.2f} GB)"
+        )
+    candidates.sort(key=lambda rec: rec.percent_of_peak, reverse=True)
+    return candidates[: max(1, top_k)]

@@ -1,0 +1,83 @@
+"""Workload definitions: the matrix shapes the paper evaluates.
+
+Section 5.2.1: the MLP block of a GPT-like transformer applies two linear
+layers.  With hidden dimension ``h`` and expansion ratio ``r`` (the paper uses
+``h = 12K`` and ``r = 4``):
+
+* MLP-1:  ``m = batch size``, ``n = r*h = 48K``, ``k = h = 12K``
+* MLP-2:  ``m = batch size``, ``n = h = 12K``, ``k = r*h = 48K``
+
+Batch sizes swept: 1024, 2048, 4096, 8192.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.util.validation import check_positive_int
+
+#: The paper's hidden dimension ("H=12K").
+MLP_HIDDEN = 12 * 1024
+#: The paper's MLP expansion ratio ("r is most commonly 4").
+MLP_RATIO = 4
+#: Batch sizes on the x-axis of Figures 2 and 3.
+BATCH_SIZES: Tuple[int, ...] = (1024, 2048, 4096, 8192)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One matrix-multiplication problem ``C[m,n] = A[m,k] @ B[k,n]``."""
+
+    name: str
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.m, "m")
+        check_positive_int(self.n, "n")
+        check_positive_int(self.k, "k")
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+    @property
+    def shapes(self) -> Tuple[Tuple[int, int], Tuple[int, int], Tuple[int, int]]:
+        """(A shape, B shape, C shape)."""
+        return ((self.m, self.k), (self.k, self.n), (self.m, self.n))
+
+    def scaled(self, factor: float) -> "Workload":
+        """Uniformly scaled copy (used by tests to shrink problems)."""
+        return Workload(
+            name=f"{self.name}_x{factor:g}",
+            m=max(1, int(self.m * factor)),
+            n=max(1, int(self.n * factor)),
+            k=max(1, int(self.k * factor)),
+        )
+
+
+def mlp1_workload(batch: int, hidden: int = MLP_HIDDEN, ratio: int = MLP_RATIO) -> Workload:
+    """The first MLP multiply: expand the hidden dimension (m=batch, n=r*h, k=h)."""
+    return Workload(name=f"mlp1_b{batch}", m=batch, n=ratio * hidden, k=hidden)
+
+
+def mlp2_workload(batch: int, hidden: int = MLP_HIDDEN, ratio: int = MLP_RATIO) -> Workload:
+    """The second MLP multiply: contract back to the hidden size (m=batch, n=h, k=r*h)."""
+    return Workload(name=f"mlp2_b{batch}", m=batch, n=hidden, k=ratio * hidden)
+
+
+def square_workload(size: int) -> Workload:
+    """A square problem, used by the classical-baseline comparison (E9)."""
+    return Workload(name=f"square_{size}", m=size, n=size, k=size)
+
+
+def mlp1_series(batches: Tuple[int, ...] = BATCH_SIZES, hidden: int = MLP_HIDDEN,
+                ratio: int = MLP_RATIO) -> List[Workload]:
+    return [mlp1_workload(batch, hidden, ratio) for batch in batches]
+
+
+def mlp2_series(batches: Tuple[int, ...] = BATCH_SIZES, hidden: int = MLP_HIDDEN,
+                ratio: int = MLP_RATIO) -> List[Workload]:
+    return [mlp2_workload(batch, hidden, ratio) for batch in batches]

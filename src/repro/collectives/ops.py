@@ -1,0 +1,107 @@
+"""Collective operations implemented with the runtime's one-sided primitives.
+
+These are *functional* implementations used by the baseline algorithms and
+the DTensor-like comparator in correctness tests; their time is estimated by
+:mod:`repro.collectives.models`, not by the byte-counting traffic of these
+routines (which intentionally use the simplest correct data movement).
+
+All functions operate on plain NumPy arrays held per rank, expressed as a
+dict ``{rank: array}``, which keeps them independent from the distributed
+matrix layer and easy to reason about in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.runtime.runtime import Runtime
+
+
+def broadcast(
+    runtime: Runtime,
+    buffers: Dict[int, np.ndarray],
+    ranks: Sequence[int],
+    root: int,
+) -> Dict[int, np.ndarray]:
+    """Broadcast the root's buffer to every rank in the group (one-sided puts)."""
+    ranks = list(ranks)
+    if root not in ranks:
+        raise ValueError(f"root {root} is not a member of the group {ranks}")
+    source = np.asarray(buffers[root])
+    handle = runtime.allocate(source.shape, dtype=source.dtype, label="bcast")
+    runtime.put(handle, root, source, initiator=root)
+    out: Dict[int, np.ndarray] = {}
+    for rank in ranks:
+        if rank == root:
+            out[rank] = source.copy()
+        else:
+            out[rank] = runtime.get(handle, root, initiator=rank)
+    runtime.free(handle)
+    return out
+
+
+def allgather(
+    runtime: Runtime,
+    buffers: Dict[int, np.ndarray],
+    ranks: Sequence[int],
+    axis: int = 0,
+) -> Dict[int, np.ndarray]:
+    """Concatenate every member's buffer along ``axis`` on every member."""
+    ranks = list(ranks)
+    handles = {}
+    for rank in ranks:
+        array = np.asarray(buffers[rank])
+        handle = runtime.allocate_on([rank], array.shape, dtype=array.dtype,
+                                     label=f"allgather:{rank}")
+        runtime.put(handle, rank, array, initiator=rank)
+        handles[rank] = handle
+    out: Dict[int, np.ndarray] = {}
+    for rank in ranks:
+        pieces = []
+        for source in ranks:
+            if source == rank:
+                pieces.append(np.asarray(buffers[source]))
+            else:
+                pieces.append(runtime.get(handles[source], source, initiator=rank))
+        out[rank] = np.concatenate(pieces, axis=axis)
+    for handle in handles.values():
+        runtime.free(handle)
+    return out
+
+
+def allreduce(
+    runtime: Runtime,
+    buffers: Dict[int, np.ndarray],
+    ranks: Sequence[int],
+) -> Dict[int, np.ndarray]:
+    """Sum every member's buffer; every member receives the total."""
+    ranks = list(ranks)
+    root = ranks[0]
+    shape = np.asarray(buffers[root]).shape
+    dtype = np.asarray(buffers[root]).dtype
+    handle = runtime.allocate(shape, dtype=dtype, label="allreduce", fill=0.0)
+    for rank in ranks:
+        runtime.accumulate(handle, root, np.asarray(buffers[rank]), initiator=rank)
+    out: Dict[int, np.ndarray] = {}
+    for rank in ranks:
+        out[rank] = runtime.get(handle, root, initiator=rank)
+    runtime.free(handle)
+    return out
+
+
+def reduce_scatter(
+    runtime: Runtime,
+    buffers: Dict[int, np.ndarray],
+    ranks: Sequence[int],
+    axis: int = 0,
+) -> Dict[int, np.ndarray]:
+    """Sum every member's buffer and scatter equal chunks along ``axis``."""
+    ranks = list(ranks)
+    reduced = allreduce(runtime, buffers, ranks)
+    out: Dict[int, np.ndarray] = {}
+    for position, rank in enumerate(ranks):
+        chunks = np.array_split(reduced[rank], len(ranks), axis=axis)
+        out[rank] = np.ascontiguousarray(chunks[position])
+    return out

@@ -1,0 +1,111 @@
+"""Execution configuration for the universal algorithm.
+
+These knobs correspond to the optimisations described in Section 4.2 of the
+paper (iteration offset, prefetching, bounded asynchrony, memory pool) plus
+the choice between direct execution and lowering to the optimized IR
+(Section 4.3).  Defaults follow the paper's settings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class ExecutionMode(enum.Enum):
+    """How the generated op list is executed."""
+
+    #: Execute ops in order with prefetch + async overlap (paper §4.2).
+    DIRECT = "direct"
+    #: Build the computation graph and lower to an explicit IR schedule (paper §4.3).
+    IR = "ir"
+
+
+class LoweringStrategy(enum.Enum):
+    """How the IR schedule is chosen when ``ExecutionMode.IR`` is used."""
+
+    #: Fill each IR op greedily up to the concurrency limits.
+    GREEDY = "greedy"
+    #: Greedy, but pick which compute/comm to schedule using the cost model.
+    COST_GREEDY = "cost_greedy"
+    #: Exhaustively search over schedules with the cost model (small problems only).
+    EXHAUSTIVE = "exhaustive"
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Tunable parameters of the execution engines."""
+
+    mode: ExecutionMode = ExecutionMode.DIRECT
+    lowering: LoweringStrategy = LoweringStrategy.GREEDY
+
+    #: Apply the iteration offset (sum of stationary-tile indices) to the op
+    #: order so that processes in the same row/column do not fetch the same
+    #: remote tile simultaneously (paper §4.2, first optimisation).
+    iteration_offset: bool = True
+
+    #: Number of upcoming tiles fetched ahead with ``get_tile_async``
+    #: (paper §4.2, second optimisation; the paper prefetches the next two).
+    prefetch_depth: int = 2
+
+    #: Allow GEMMs and accumulates from different iterations to run
+    #: concurrently (paper §4.2, third optimisation).
+    async_execution: bool = True
+
+    #: Upper bounds on in-flight asynchronous work (higher = more overlap,
+    #: more temporary memory).
+    max_concurrent_gemms: int = 4
+    max_concurrent_accumulates: int = 4
+
+    #: Reuse temporary tile buffers through the per-rank memory pool
+    #: (paper §4.2, fourth optimisation).
+    use_memory_pool: bool = True
+
+    #: Reuse a remote tile already fetched earlier in the same op list rather
+    #: than fetching it again (a rank owning several stationary tiles may
+    #: need the same remote operand tile more than once).
+    cache_remote_tiles: bool = True
+
+    #: Maximum number of schedules examined by the exhaustive-search lowering
+    #: before it falls back to the cost-greedy result.
+    exhaustive_search_limit: int = 20000
+
+    #: Verify invariants (op coverage, bound consistency) while generating
+    #: ops.  Costs a little time; invaluable when developing new partitionings.
+    validate_ops: bool = False
+
+    #: Skip all real data movement and arithmetic and only build the modelled
+    #: timeline.  This is what lets the benchmark harness sweep paper-scale
+    #: problems (tens of GB of operands) on a laptop: the modelled time
+    #: depends only on the op lists and the machine model, never on values.
+    #: Requires the operands to have been created with ``materialize=False``
+    #: or simply leaves their contents untouched.
+    simulate_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.prefetch_depth < 0:
+            raise ValueError(f"prefetch_depth must be >= 0, got {self.prefetch_depth}")
+        if self.max_concurrent_gemms < 1:
+            raise ValueError("max_concurrent_gemms must be >= 1")
+        if self.max_concurrent_accumulates < 1:
+            raise ValueError("max_concurrent_accumulates must be >= 1")
+        if self.exhaustive_search_limit < 1:
+            raise ValueError("exhaustive_search_limit must be >= 1")
+
+    def evolve(self, **changes) -> "ExecutionConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @staticmethod
+    def synchronous() -> "ExecutionConfig":
+        """A configuration with every overlap optimisation disabled (ablation baseline)."""
+        return ExecutionConfig(
+            iteration_offset=False,
+            prefetch_depth=0,
+            async_execution=False,
+            max_concurrent_gemms=1,
+            max_concurrent_accumulates=1,
+            use_memory_pool=False,
+            cache_remote_tiles=False,
+        )

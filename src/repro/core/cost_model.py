@@ -1,0 +1,187 @@
+"""Cost model: roofline compute estimates plus bandwidth-based communication.
+
+Section 4.3 of the paper: "The computation cost we estimate using a simple
+Roofline model based on the matrix tile size as well as our GPU's arithmetic
+peak and memory bandwidth peak.  Communication cost we can estimate by taking
+the number of bytes that must be fetched in each communication operation and
+dividing it by the bandwidth available between the process and remote tile."
+
+The same model serves three purposes in this library:
+
+1. choosing a data-movement strategy (Stationary A/B/C),
+2. driving the cost-model-based IR lowerings, and
+3. pricing every event in the execution simulators so that benchmarks can
+   report percent-of-peak numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Sequence
+
+from repro.topology.machines import MachineSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ops import LocalMatmulOp
+
+
+@dataclass(frozen=True)
+class GemmShapeModel:
+    """Shape-dependent efficiency of a local GEMM.
+
+    GPUs lose efficiency when any GEMM dimension is small (underfilled
+    compute tiles, low occupancy).  The paper leans on this effect twice: the
+    column-block partitioning beats inner-product despite equal communication
+    because its local GEMMs are better shaped, and replication helps the
+    outer-product partitioning because it enlarges per-replica tiles.  We
+    model the effect with a saturating factor per dimension:
+    ``dim / (dim + half_size)`` so tiny dimensions are heavily penalised and
+    large dimensions approach 1.  The half sizes are calibrated so that a
+    dimension of a few hundred elements already runs near full efficiency,
+    which is roughly where vendor GEMM libraries saturate for FP32.
+    """
+
+    m_half: float = 64.0
+    n_half: float = 64.0
+    k_half: float = 64.0
+
+    def efficiency(self, m: int, n: int, k: int) -> float:
+        if m <= 0 or n <= 0 or k <= 0:
+            return 1.0
+        factor_m = m / (m + self.m_half)
+        factor_n = n / (n + self.n_half)
+        factor_k = k / (k + self.k_half)
+        return factor_m * factor_n * factor_k
+
+
+class CostModel:
+    """Prices compute, communication, and accumulation on a given machine."""
+
+    def __init__(self, machine: MachineSpec, shape_model: GemmShapeModel | None = None) -> None:
+        self.machine = machine
+        self.topology = machine.topology
+        self.shape_model = shape_model or GemmShapeModel()
+
+    # ------------------------------------------------------------------ #
+    # compute
+    # ------------------------------------------------------------------ #
+    def gemm_time(self, m: int, n: int, k: int, itemsize: int = 4) -> float:
+        """Roofline estimate of one local GEMM of shape (m x k) @ (k x n)."""
+        if m <= 0 or n <= 0 or k <= 0:
+            return 0.0
+        flops = 2.0 * m * n * k
+        bytes_touched = float(itemsize) * (m * k + k * n + 2 * m * n)
+        efficiency = self.machine.gemm_efficiency * self.shape_model.efficiency(m, n, k)
+        compute_time = flops / (self.machine.flops_peak * max(efficiency, 1.0e-3))
+        memory_time = bytes_touched / self.machine.memory_bandwidth
+        return max(compute_time, memory_time) + self.machine.kernel_launch_overhead
+
+    def local_accumulate_time(self, nbytes: int) -> float:
+        """Time to add a temporary result into a locally owned tile (memory bound)."""
+        if nbytes <= 0:
+            return 0.0
+        # read partial + read/write destination
+        return 3.0 * nbytes / self.machine.memory_bandwidth + self.machine.kernel_launch_overhead
+
+    # ------------------------------------------------------------------ #
+    # communication
+    # ------------------------------------------------------------------ #
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Time for a one-sided get/put of ``nbytes`` from ``src`` to ``dst``."""
+        if nbytes <= 0 or src == dst:
+            return 0.0
+        return self.topology.transfer_time(src, dst, nbytes)
+
+    def device_link_time(self, nbytes: int, accumulate: bool = False) -> float:
+        """Occupancy of a device's aggregate ingress/egress capacity for ``nbytes``.
+
+        The paper's Table 2 quotes per-device unidirectional link bandwidth;
+        all traffic entering or leaving one device shares it, which is what
+        makes many-to-one fan-in (remote accumulates into one C owner) and
+        one-to-many fan-out (everyone fetching the same tile) serialise.
+        """
+        if nbytes <= 0:
+            return 0.0
+        time = nbytes / self.machine.device_link_bandwidth
+        if accumulate:
+            time /= max(self.machine.accumulate_efficiency, 1.0e-6)
+        return time
+
+    def accumulate_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Time for a one-sided remote accumulate.
+
+        Remote accumulates run as a kernel on the initiating device (hence the
+        launch overhead) and reach only ``accumulate_efficiency`` of the copy
+        bandwidth (the paper measures ~80% on PVC).
+        """
+        if nbytes <= 0 or src == dst:
+            return 0.0
+        latency = self.topology.latency(src, dst)
+        payload = self.topology.transfer_time(src, dst, nbytes) - latency
+        return (
+            self.machine.kernel_launch_overhead
+            + latency
+            + payload / max(self.machine.accumulate_efficiency, 1.0e-6)
+        )
+
+    # ------------------------------------------------------------------ #
+    # op-level helpers
+    # ------------------------------------------------------------------ #
+    def op_compute_time(self, op: "LocalMatmulOp") -> float:
+        return self.gemm_time(op.m, op.n, op.k, op.itemsize)
+
+    def op_fetch_time(self, op: "LocalMatmulOp") -> float:
+        """Time to fetch the (whole) remote tiles the op depends on."""
+        total = 0.0
+        if op.a_is_remote:
+            total += self.transfer_time(op.a.owner, op.rank, op.a_bytes)
+        if op.b_is_remote:
+            total += self.transfer_time(op.b.owner, op.rank, op.b_bytes)
+        return total
+
+    def op_accumulate_time(self, op: "LocalMatmulOp") -> float:
+        if op.c_is_remote:
+            return self.accumulate_time(op.rank, op.c.owner, op.c_bytes)
+        return self.local_accumulate_time(op.c_bytes)
+
+    # ------------------------------------------------------------------ #
+    # schedule-level estimates
+    # ------------------------------------------------------------------ #
+    def estimate_op_list(self, ops: Sequence["LocalMatmulOp"]) -> float:
+        """Optimistic overlap-aware estimate of one rank's execution time.
+
+        Communication and computation overlap perfectly in the limit, so the
+        rank needs at least ``max(total_compute, total_fetch)``; remote
+        accumulates ride on a separate engine and add the same way; a small
+        serial term accounts for the pipeline fill of the first fetch.
+        """
+        if not ops:
+            return 0.0
+        compute = sum(self.op_compute_time(op) for op in ops)
+        fetch = sum(self.op_fetch_time(op) for op in ops)
+        accumulate = sum(
+            self.accumulate_time(op.rank, op.c.owner, op.c_bytes)
+            for op in ops
+            if op.c_is_remote
+        )
+        local_accumulate = sum(
+            self.local_accumulate_time(op.c_bytes) for op in ops if not op.c_is_remote
+        )
+        pipeline_fill = self.op_fetch_time(ops[0])
+        return max(compute + local_accumulate, fetch, accumulate) + pipeline_fill
+
+    def estimate_op_lists(self, per_rank_ops: Mapping[int, Sequence["LocalMatmulOp"]]) -> float:
+        """Estimated makespan: the slowest rank's estimate."""
+        if not per_rank_ops:
+            return 0.0
+        return max(self.estimate_op_list(ops) for ops in per_rank_ops.values())
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def percent_of_peak(self, total_flops: float, elapsed: float) -> float:
+        """Achieved fraction of the machine's aggregate FP32 peak, as a percentage."""
+        if elapsed <= 0.0:
+            return 0.0
+        achieved = total_flops / elapsed
+        return 100.0 * achieved / self.machine.total_peak()

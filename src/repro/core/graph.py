@@ -1,0 +1,95 @@
+"""Per-rank computation graphs (paper Section 4.3, first lowering step).
+
+"First, we build a computation graph for each process representing the local
+component matrix multiplications it must perform as well as the matrix tiles
+these component operations are dependent upon.  The computation graph is a
+bipartite graph with compute operations on one side and data on the other.
+Each component operation has edges to the tiles it depends upon ... Data
+dependency edges have labels representing whether the dependency is
+satisfied."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.core.ops import LocalMatmulOp
+
+#: A data node: (operand name, replica index, tile index).
+DataKey = Tuple[str, int, Tuple[int, int]]
+
+
+@dataclass(frozen=True, slots=True)
+class DataNode:
+    """One matrix tile a compute op depends on."""
+
+    key: DataKey
+    owner: int
+    nbytes: int
+
+    @property
+    def matrix(self) -> str:
+        return self.key[0]
+
+    @property
+    def tile_index(self) -> Tuple[int, int]:
+        return self.key[2]
+
+
+@dataclass
+class ComputationGraph:
+    """Bipartite dependency graph for one rank's op list."""
+
+    rank: int
+    ops: List[LocalMatmulOp]
+    data_nodes: Dict[DataKey, DataNode] = field(default_factory=dict)
+    #: op index -> data keys it depends on (only remote dependencies carry cost,
+    #: but local ones are kept, marked satisfied, for completeness).
+    dependencies: Dict[int, FrozenSet[DataKey]] = field(default_factory=dict)
+    #: data keys whose dependency edges start in the satisfied state (local tiles).
+    initially_satisfied: Set[DataKey] = field(default_factory=set)
+
+    @classmethod
+    def build(cls, rank: int, ops: Sequence[LocalMatmulOp]) -> "ComputationGraph":
+        graph = cls(rank=rank, ops=list(ops))
+        for index, op in enumerate(graph.ops):
+            deps: List[DataKey] = []
+            for name, operand, nbytes in (("A", op.a, op.a_bytes), ("B", op.b, op.b_bytes)):
+                key: DataKey = (name, operand.replica, operand.index)
+                deps.append(key)
+                if key not in graph.data_nodes:
+                    # The whole tile is fetched, so size the node by the tile,
+                    # not by the (possibly smaller) slice this op uses.
+                    graph.data_nodes[key] = DataNode(key=key, owner=operand.owner, nbytes=nbytes)
+                if operand.owner == rank:
+                    graph.initially_satisfied.add(key)
+            graph.dependencies[index] = frozenset(deps)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    def remote_data_keys(self) -> List[DataKey]:
+        """Data nodes that require communication before use."""
+        return [key for key in self.data_nodes if key not in self.initially_satisfied]
+
+    def ops_depending_on(self, key: DataKey) -> List[int]:
+        """Op indices that need a particular data node."""
+        return [index for index, deps in self.dependencies.items() if key in deps]
+
+    def is_ready(self, op_index: int, satisfied: Set[DataKey]) -> bool:
+        """True if all of an op's dependencies are in the satisfied state."""
+        return self.dependencies[op_index] <= satisfied
+
+    def unsatisfied_deps(self, op_index: int, satisfied: Set[DataKey]) -> List[DataKey]:
+        return [key for key in self.dependencies[op_index] if key not in satisfied]
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    def total_remote_bytes(self) -> int:
+        return sum(
+            node.nbytes
+            for key, node in self.data_nodes.items()
+            if key not in self.initially_satisfied
+        )

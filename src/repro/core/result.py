@@ -1,0 +1,68 @@
+"""Result records returned by the execution engines and the top-level API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.stationary import Stationary
+
+
+@dataclass
+class RankStats:
+    """Per-rank accounting from one distributed multiply."""
+
+    rank: int
+    num_ops: int = 0
+    flops: int = 0
+    remote_get_bytes: int = 0
+    remote_accumulate_bytes: int = 0
+    compute_time: float = 0.0
+    copy_time: float = 0.0
+    accumulate_time: float = 0.0
+    finish_time: float = 0.0
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one distributed matrix multiplication.
+
+    ``simulated_time`` is the modelled makespan (seconds on the machine
+    model), including the replica reduction when C is replicated.
+    ``percent_of_peak`` relates the problem's FLOPs to the machine's aggregate
+    peak over that makespan — the metric plotted in the paper's Figures 2-3.
+    """
+
+    stationary: Stationary
+    total_flops: int
+    simulated_time: float
+    compute_makespan: float
+    reduce_time: float
+    percent_of_peak: float
+    total_ops: int
+    remote_get_bytes: int
+    remote_accumulate_bytes: int
+    per_rank: Dict[int, RankStats] = field(default_factory=dict)
+    mode: str = "direct"
+    lowering: Optional[str] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def communication_bytes(self) -> int:
+        """Total remote bytes moved (gets plus accumulates)."""
+        return self.remote_get_bytes + self.remote_accumulate_bytes
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary for benchmark tables."""
+        return {
+            "stationary": self.stationary.value,
+            "mode": self.mode,
+            "lowering": self.lowering,
+            "simulated_time_s": self.simulated_time,
+            "percent_of_peak": self.percent_of_peak,
+            "total_flops": self.total_flops,
+            "total_ops": self.total_ops,
+            "remote_get_bytes": self.remote_get_bytes,
+            "remote_accumulate_bytes": self.remote_accumulate_bytes,
+            "reduce_time_s": self.reduce_time,
+        }

@@ -1,0 +1,45 @@
+"""A DTensor-like SPMD comparator.
+
+PyTorch DTensor is the paper's main comparison point: an SPMD system where
+users annotate tensors with placements (``Shard``/``Replicate``/``Partial``)
+on a device mesh, and ``matmul`` dispatches to a *limited* set of sharded
+matmul rules, redistributing ("resharding") operands when no rule matches.
+This package re-implements that dispatch behaviour over the same machine
+model so the benchmark harness can produce the "DT - Row" / "DT - Column"
+series of Figures 2-3:
+
+* :mod:`repro.dtensor.placement` — ``Shard``, ``Replicate``, ``Partial``;
+* :mod:`repro.dtensor.device_mesh` — a 1-D device mesh bound to a machine;
+* :mod:`repro.dtensor.dtensor` — the distributed tensor wrapper (real shards
+  or symbolic shapes) with ``redistribute``;
+* :mod:`repro.dtensor.dispatch` — sharding-propagation matmul with reshard
+  fallback and modelled collective costs.
+
+The re-implementation intentionally preserves DTensor's *behavioural*
+limitations noted in the paper: only 1-D meshes are supported for matmul
+(2-D shardings would require packed collectives), and mixed replication
+factors between operands are rejected.
+"""
+
+from repro.dtensor.placement import Placement, Shard, Replicate, Partial
+from repro.dtensor.device_mesh import DeviceMesh
+from repro.dtensor.dtensor import DTensor
+from repro.dtensor.dispatch import (
+    MatmulPlan,
+    dtensor_matmul,
+    plan_matmul,
+    simulate_dtensor_matmul,
+)
+
+__all__ = [
+    "Placement",
+    "Shard",
+    "Replicate",
+    "Partial",
+    "DeviceMesh",
+    "DTensor",
+    "MatmulPlan",
+    "dtensor_matmul",
+    "plan_matmul",
+    "simulate_dtensor_matmul",
+]

@@ -1,0 +1,67 @@
+"""Tensor placements: how a logical tensor maps onto a device mesh.
+
+The three placements mirror PyTorch DTensor's:
+
+* ``Shard(dim)`` — the tensor is split into contiguous blocks along ``dim``,
+  one per mesh device;
+* ``Replicate()`` — every device holds the full tensor;
+* ``Partial()`` — every device holds a full-shape *partial sum*; the true
+  value is the elementwise sum across devices (produced, e.g., by an
+  outer-product matmul) and must be reduced before use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Placement:
+    """Base class for placements (value objects, compared structurally)."""
+
+    def is_shard(self, dim: int | None = None) -> bool:
+        return False
+
+    def is_replicate(self) -> bool:
+        return False
+
+    def is_partial(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class Shard(Placement):
+    """Shard along tensor dimension ``dim`` (0 = rows, 1 = columns)."""
+
+    dim: int
+
+    def __post_init__(self) -> None:
+        if self.dim not in (0, 1):
+            raise ValueError(f"only 2-D tensors are supported; invalid shard dim {self.dim}")
+
+    def is_shard(self, dim: int | None = None) -> bool:
+        return dim is None or dim == self.dim
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"Shard({self.dim})"
+
+
+@dataclass(frozen=True, slots=True)
+class Replicate(Placement):
+    """Full copy on every mesh device."""
+
+    def is_replicate(self) -> bool:
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "Replicate()"
+
+
+@dataclass(frozen=True, slots=True)
+class Partial(Placement):
+    """Unreduced partial sums on every mesh device."""
+
+    def is_partial(self) -> bool:
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "Partial()"

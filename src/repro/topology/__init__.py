@@ -1,0 +1,35 @@
+"""Machine and interconnect models.
+
+The paper evaluates on two systems (its Table 2): a 12-device Intel PVC node
+connected with Xe Link and an 8-device Nvidia H100 node connected with NVLink.
+Because this reproduction runs on CPUs, the machines are represented as
+analytic models: per-device FP32 peak, memory bandwidth, and a link-bandwidth/
+latency matrix between devices.  Every simulated one-sided transfer and local
+GEMM is charged against this model, which is what lets the benchmark harness
+report percent-of-peak numbers whose *shape* matches the paper's figures.
+"""
+
+from repro.topology.links import Link, LinkKind
+from repro.topology.topology import Topology
+from repro.topology.machines import (
+    MachineSpec,
+    pvc_system,
+    h100_system,
+    uniform_system,
+    hierarchical_system,
+    SYSTEMS,
+    get_system,
+)
+
+__all__ = [
+    "Link",
+    "LinkKind",
+    "Topology",
+    "MachineSpec",
+    "pvc_system",
+    "h100_system",
+    "uniform_system",
+    "hierarchical_system",
+    "SYSTEMS",
+    "get_system",
+]

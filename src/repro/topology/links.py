@@ -1,0 +1,55 @@
+"""Link descriptors for device-to-device interconnect modelling."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LinkKind(enum.Enum):
+    """Tier of a device-to-device connection.
+
+    The PVC system in the paper has two tiers below "self": the two tiles of
+    one physical GPU talk over a fast inter-tile fabric (230 GB/s) while tiles
+    on different GPUs use Xe Link (20 GB/s per link).  The H100 system has a
+    single NVLink tier.  Inter-node links are modelled for completeness even
+    though the paper's experiments are single-node.
+    """
+
+    SELF = "self"
+    INTRA_DEVICE = "intra_device"
+    INTRA_NODE = "intra_node"
+    INTER_NODE = "inter_node"
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A directed connection between two devices.
+
+    Attributes
+    ----------
+    bandwidth:
+        Unidirectional bandwidth in bytes/second.
+    latency:
+        One-way latency in seconds, charged once per transfer.
+    kind:
+        Which interconnect tier the link belongs to.
+    """
+
+    bandwidth: float
+    latency: float
+    kind: LinkKind
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"link bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"link latency must be non-negative, got {self.latency}")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` across this link (latency + bytes/bandwidth)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth

@@ -1,0 +1,53 @@
+"""Utility foundations shared by every subsystem.
+
+The most important pieces live in :mod:`repro.util.indexing`: the
+:class:`~repro.util.indexing.Interval` and :class:`~repro.util.indexing.Rect`
+types implement the "slicing (index arithmetic)" that the paper's universal
+algorithm is built on.  Everything that touches tile bounds, overlapping-tile
+queries, or global/local offset conversion goes through these types.
+"""
+
+from repro.util.indexing import (
+    Interval,
+    Rect,
+    ceil_div,
+    split_extent,
+    block_bounds,
+    intersect_intervals,
+    intersect_rects,
+)
+from repro.util.validation import (
+    check_positive_int,
+    check_non_negative_int,
+    check_in_range,
+    check_divides,
+    check_matrix,
+    ReproError,
+    ShapeError,
+    PartitionError,
+    ReplicationError,
+)
+from repro.util.rng import make_rng, random_matrix
+from repro.util.logging import get_logger
+
+__all__ = [
+    "Interval",
+    "Rect",
+    "ceil_div",
+    "split_extent",
+    "block_bounds",
+    "intersect_intervals",
+    "intersect_rects",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_in_range",
+    "check_divides",
+    "check_matrix",
+    "ReproError",
+    "ShapeError",
+    "PartitionError",
+    "ReplicationError",
+    "make_rng",
+    "random_matrix",
+    "get_logger",
+]

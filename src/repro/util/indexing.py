@@ -1,0 +1,253 @@
+"""Index arithmetic ("slicing") primitives.
+
+The universal one-sided algorithm works by computing, for every stationary
+tile a process owns, which tiles of the other two operands overlap the rows
+and columns spanned by that tile.  All of that arithmetic is expressed in
+terms of half-open integer intervals and 2-D rectangles of such intervals.
+
+These types are deliberately tiny, immutable, and allocation-cheap: op
+generation for a large tile grid creates many thousands of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"ceil_div numerator must be non-negative, got {a}")
+    return -(-a // b)
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A half-open integer interval ``[start, stop)``.
+
+    Used for row ranges, column ranges, and the m/n/k bounds of local matrix
+    multiply operations.  An empty interval has ``stop <= start``.
+    """
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop < self.start:
+            raise ValueError(
+                f"Interval stop ({self.stop}) must be >= start ({self.start})"
+            )
+
+    @property
+    def extent(self) -> int:
+        """Number of indices covered by the interval."""
+        return self.stop - self.start
+
+    def __len__(self) -> int:
+        return self.extent
+
+    def __bool__(self) -> bool:
+        return self.extent > 0
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index < self.stop
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.stop))
+
+    def shift(self, offset: int) -> "Interval":
+        """Return the interval translated by ``offset``."""
+        return Interval(self.start + offset, self.stop + offset)
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Return the overlap of two intervals (possibly empty).
+
+        The empty result is normalised to ``[lo, lo)`` where ``lo`` is the
+        maximum of the two starts, so that ``extent == 0``.
+        """
+        lo = max(self.start, other.start)
+        hi = min(self.stop, other.stop)
+        if hi < lo:
+            hi = lo
+        return Interval(lo, hi)
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two intervals share at least one index."""
+        return max(self.start, other.start) < min(self.stop, other.stop)
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True if ``other`` is entirely inside this interval."""
+        if not other:
+            return True
+        return self.start <= other.start and other.stop <= self.stop
+
+    def localize(self, origin: int) -> "Interval":
+        """Convert global indices to indices relative to ``origin``.
+
+        This is the "global-to-local offset" conversion mentioned in the
+        paper's Algorithm 1 footnote.
+        """
+        return Interval(self.start - origin, self.stop - origin)
+
+    def as_slice(self) -> slice:
+        """Return the equivalent Python :class:`slice`."""
+        return slice(self.start, self.stop)
+
+    def split(self, parts: int) -> Tuple["Interval", ...]:
+        """Split into ``parts`` nearly equal contiguous sub-intervals.
+
+        The first ``extent % parts`` pieces get one extra element, mirroring
+        the block partitioning convention used by :func:`split_extent`.
+        """
+        pieces = split_extent(self.extent, parts)
+        out = []
+        cursor = self.start
+        for length in pieces:
+            out.append(Interval(cursor, cursor + length))
+            cursor += length
+        return tuple(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.start}, {self.stop})"
+
+
+def intersect_intervals(a: Interval, b: Interval) -> Interval:
+    """Functional form of :meth:`Interval.intersect`."""
+    return a.intersect(b)
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle of indices: a row interval x a column interval.
+
+    ``Rect`` is the 2-D "slice" object handed to ``overlapping_tiles`` and
+    returned from ``tile_bounds``.
+    """
+
+    rows: Interval
+    cols: Interval
+
+    @staticmethod
+    def from_bounds(row_start: int, row_stop: int, col_start: int, col_stop: int) -> "Rect":
+        return Rect(Interval(row_start, row_stop), Interval(col_start, col_stop))
+
+    @staticmethod
+    def full(shape: Sequence[int]) -> "Rect":
+        """The rectangle covering an entire ``(rows, cols)`` matrix."""
+        return Rect(Interval(0, int(shape[0])), Interval(0, int(shape[1])))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows.extent, self.cols.extent)
+
+    @property
+    def size(self) -> int:
+        """Number of elements covered."""
+        return self.rows.extent * self.cols.extent
+
+    def __bool__(self) -> bool:
+        return bool(self.rows) and bool(self.cols)
+
+    def intersect(self, other: "Rect") -> "Rect":
+        return Rect(self.rows.intersect(other.rows), self.cols.intersect(other.cols))
+
+    def overlaps(self, other: "Rect") -> bool:
+        return self.rows.overlaps(other.rows) and self.cols.overlaps(other.cols)
+
+    def contains(self, other: "Rect") -> bool:
+        return self.rows.contains_interval(other.rows) and self.cols.contains_interval(
+            other.cols
+        )
+
+    def shift(self, row_offset: int, col_offset: int) -> "Rect":
+        return Rect(self.rows.shift(row_offset), self.cols.shift(col_offset))
+
+    def localize(self, origin: "Rect") -> "Rect":
+        """Express this rectangle relative to the origin rectangle's corner."""
+        return Rect(
+            self.rows.localize(origin.rows.start),
+            self.cols.localize(origin.cols.start),
+        )
+
+    def as_slices(self) -> Tuple[slice, slice]:
+        """Return ``(row_slice, col_slice)`` for NumPy indexing."""
+        return (self.rows.as_slice(), self.cols.as_slice())
+
+    def transpose(self) -> "Rect":
+        return Rect(self.cols, self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Rect(rows={self.rows!r}, cols={self.cols!r})"
+
+
+def intersect_rects(a: Rect, b: Rect) -> Rect:
+    """Functional form of :meth:`Rect.intersect`."""
+    return a.intersect(b)
+
+
+def split_extent(extent: int, parts: int) -> Tuple[int, ...]:
+    """Split ``extent`` indices into ``parts`` contiguous nearly-equal blocks.
+
+    The first ``extent % parts`` blocks receive one extra element.  Blocks may
+    be empty when ``parts > extent``; callers that cannot tolerate empty tiles
+    must validate beforehand.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if extent < 0:
+        raise ValueError(f"extent must be non-negative, got {extent}")
+    base = extent // parts
+    remainder = extent % parts
+    return tuple(base + 1 if i < remainder else base for i in range(parts))
+
+
+def block_bounds(extent: int, parts: int, index: int) -> Interval:
+    """Bounds of block ``index`` when ``extent`` is split into ``parts`` blocks.
+
+    Consistent with :func:`split_extent`: the first ``extent % parts`` blocks
+    are one element longer.
+    """
+    if not 0 <= index < parts:
+        raise ValueError(f"block index {index} out of range for {parts} parts")
+    base = extent // parts
+    remainder = extent % parts
+    if index < remainder:
+        start = index * (base + 1)
+        stop = start + base + 1
+    else:
+        start = remainder * (base + 1) + (index - remainder) * base
+        stop = start + base
+    return Interval(start, stop)
+
+
+def block_index_range(extent: int, parts: int, query: Interval) -> Tuple[int, int]:
+    """Return the half-open range of block indices whose bounds overlap ``query``.
+
+    This is the fast path behind ``overlapping_tiles`` for plain block
+    partitionings: instead of scanning every block we locate the first and
+    last overlapping block index directly.
+    """
+    if not query:
+        return (0, 0)
+    query = query.intersect(Interval(0, extent))
+    if not query:
+        return (0, 0)
+    base = extent // parts
+    remainder = extent % parts
+
+    def locate(position: int) -> int:
+        # Position of the block containing global index `position`.
+        boundary = remainder * (base + 1)
+        if base == 0:
+            # All content lives in the first `remainder` blocks of length 1.
+            return min(position, parts - 1)
+        if position < boundary:
+            return position // (base + 1)
+        return remainder + (position - boundary) // base
+
+    first = locate(query.start)
+    last = locate(query.stop - 1)
+    return (first, last + 1)

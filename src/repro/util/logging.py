@@ -1,0 +1,49 @@
+"""Structured logging helpers.
+
+Every subsystem obtains its logger through :func:`get_logger` so the whole
+library shares one namespace (``repro.*``) and can be silenced or redirected
+by downstream applications with a single call.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _ensure_configured() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.NullHandler()
+        root.addHandler(handler)
+    _configured = True
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a library logger, rooted at the ``repro`` namespace."""
+    _ensure_configured()
+    if name is None or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a console handler to the library root logger (for examples/benchmarks)."""
+    _ensure_configured()
+    root = logging.getLogger(_ROOT_NAME)
+    has_stream = any(isinstance(h, logging.StreamHandler) for h in root.handlers)
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(level)

@@ -1,0 +1,71 @@
+"""Correctness tests: every baseline's reference run must equal A @ B."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Cannon,
+    CosmaLike,
+    OneAndHalfD,
+    OneDRing,
+    Summa,
+    TwoAndHalfD,
+)
+
+
+@pytest.fixture
+def operands():
+    rng = np.random.default_rng(42)
+    a = rng.standard_normal((40, 36))
+    b = rng.standard_normal((36, 44))
+    return a, b, a @ b
+
+
+ALGORITHMS = [
+    OneDRing(),
+    Summa(),
+    Summa(panel_width=5),
+    Cannon(),
+    OneAndHalfD(replication=2),
+    OneAndHalfD(replication=4),
+    TwoAndHalfD(replication=2),
+    CosmaLike(),
+]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: f"{a.name}")
+@pytest.mark.parametrize("num_procs", [1, 4, 8, 12])
+def test_run_matches_numpy(operands, algorithm, num_procs):
+    a, b, reference = operands
+    result = algorithm.run(a, b, num_procs=num_procs)
+    np.testing.assert_allclose(result, reference, rtol=1e-10, atol=1e-10)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: f"{a.name}")
+def test_run_handles_awkward_shapes(algorithm):
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((17, 23))
+    b = rng.standard_normal((23, 11))
+    np.testing.assert_allclose(algorithm.run(a, b, num_procs=4), a @ b,
+                               rtol=1e-10, atol=1e-10)
+
+
+def test_cannon_strict_mode_rejects_non_square_counts():
+    with pytest.raises(ValueError):
+        Cannon(strict=True).simulate(64, 64, 64, __import__(
+            "repro.topology.machines", fromlist=["uniform_system"]).uniform_system(12))
+
+
+def test_one_and_half_d_invalid_replication():
+    from repro.util.validation import ReplicationError
+
+    with pytest.raises(ReplicationError):
+        OneAndHalfD(replication=0)
+
+
+def test_two_and_half_d_replication_must_divide_devices():
+    from repro.topology.machines import uniform_system
+    from repro.util.validation import ReplicationError
+
+    with pytest.raises(ReplicationError):
+        TwoAndHalfD(replication=5).simulate(64, 64, 64, uniform_system(12))

@@ -1,0 +1,115 @@
+"""Tests of the baselines' analytic time models and the COSMA selector."""
+
+import pytest
+
+from repro.baselines import (
+    Cannon,
+    CosmaLike,
+    OneAndHalfD,
+    OneDRing,
+    Summa,
+    TwoAndHalfD,
+    select_cosma_decomposition,
+)
+from repro.baselines.base import BaselineResult
+from repro.topology.machines import GB, h100_system, pvc_system, uniform_system
+
+
+class TestSimulateBasics:
+    @pytest.mark.parametrize("algorithm", [OneDRing(), Summa(), Cannon(),
+                                           OneAndHalfD(2), TwoAndHalfD(2), CosmaLike()])
+    def test_result_fields(self, algorithm):
+        result = algorithm.simulate(4096, 4096, 4096, pvc_system(12))
+        assert isinstance(result, BaselineResult)
+        assert result.simulated_time > 0
+        assert 0 < result.percent_of_peak <= 100
+        assert result.compute_time > 0
+        assert result.communication_bytes >= 0
+        assert "algorithm" in result.summary()
+
+    def test_larger_problems_take_longer(self):
+        algorithm = Summa()
+        machine = pvc_system(12)
+        small = algorithm.simulate(1024, 1024, 1024, machine).simulated_time
+        large = algorithm.simulate(4096, 4096, 4096, machine).simulated_time
+        assert large > small
+
+    def test_overlap_helps(self):
+        machine = pvc_system(12)
+        overlapped = Summa(overlap=True).simulate(8192, 8192, 8192, machine)
+        sequential = Summa(overlap=False).simulate(8192, 8192, 8192, machine)
+        assert overlapped.simulated_time <= sequential.simulated_time
+
+    def test_h100_faster_than_pvc(self):
+        shape = (8192, 8192, 8192)
+        pvc = Summa().simulate(*shape, pvc_system(12)).simulated_time
+        h100 = Summa().simulate(*shape, h100_system(8)).simulated_time
+        assert h100 < pvc
+
+    def test_cannon_reports_idle_devices_on_non_square_counts(self):
+        result = Cannon().simulate(4096, 4096, 4096, pvc_system(12))
+        assert result.metadata["idle_devices"] == 3
+
+    def test_summa_grid_override(self):
+        result = Summa(grid=(2, 6)).simulate(4096, 4096, 4096, pvc_system(12))
+        assert result.metadata["grid"] == "2x6"
+
+    def test_summa_grid_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Summa(grid=(5, 5)).simulate(64, 64, 64, pvc_system(12))
+
+
+class TestReplicationTradeoffs:
+    def test_25d_replication_reduces_communication(self):
+        # 2.5D pays off when c stays below ~p^(1/3): at p=64 and c=4 the extra
+        # layer reduction is outweighed by the smaller SUMMA broadcasts.
+        machine = uniform_system(64, link_bandwidth=10 * GB)
+        flat = TwoAndHalfD(replication=1).simulate(8192, 8192, 8192, machine)
+        replicated = TwoAndHalfD(replication=4).simulate(8192, 8192, 8192, machine)
+        assert replicated.communication_bytes < flat.communication_bytes
+
+    def test_15d_replication_reduces_shift_traffic(self):
+        machine = uniform_system(16, link_bandwidth=10 * GB)
+        flat = OneAndHalfD(replication=1).simulate(4096, 4096, 65536, machine)
+        replicated = OneAndHalfD(replication=4).simulate(4096, 4096, 65536, machine)
+        assert replicated.communication_bytes < flat.communication_bytes
+
+
+class TestCosmaSelector:
+    def test_covers_all_processes(self):
+        decomposition = select_cosma_decomposition(8192, 8192, 8192, 12)
+        assert decomposition.processes == 12
+
+    def test_square_problem_prefers_square_grid(self):
+        decomposition = select_cosma_decomposition(8192, 8192, 8192, 16)
+        assert {decomposition.pm, decomposition.pn} == {4}
+        assert decomposition.pk == 1
+
+    def test_tall_skinny_prefers_splitting_long_dimension(self):
+        # n is enormous: splitting n avoids moving the big B/C panels.
+        decomposition = select_cosma_decomposition(1024, 1 << 20, 1024, 8)
+        assert decomposition.pn == 8
+
+    def test_memory_budget_forces_replication_off(self):
+        unlimited = select_cosma_decomposition(8192, 8192, 8192, 8, None)
+        tight = select_cosma_decomposition(
+            8192, 8192, 8192, 8, memory_budget_bytes=3 * 8192 * 8192 * 4 / 4
+        )
+        assert tight.memory_elements(8192, 8192, 8192) <= 3 * 8192 * 8192 / 4
+        assert unlimited.communication_elements(8192, 8192, 8192) <= \
+            tight.communication_elements(8192, 8192, 8192)
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError):
+            select_cosma_decomposition(8192, 8192, 8192, 4, memory_budget_bytes=1024)
+
+    def test_local_shapes_cover_problem(self):
+        decomposition = select_cosma_decomposition(1000, 2000, 3000, 12)
+        (am, ak), (bk, bn), (cm, cn) = decomposition.local_shapes(1000, 2000, 3000)
+        assert am * decomposition.pm >= 1000
+        assert bn * decomposition.pn >= 2000
+        assert ak * decomposition.pk >= 3000
+
+    def test_cosma_like_reports_decomposition(self):
+        result = CosmaLike().simulate(8192, 49152, 12288, h100_system(8))
+        assert "decomposition" in result.metadata

@@ -1,0 +1,133 @@
+"""Unit tests for the sweep driver and reporting."""
+
+import pytest
+
+from repro.baselines import OneDRing, Summa
+from repro.bench.report import format_table, print_figure, series_from_points
+from repro.bench.schemes import scheme_by_name, ua_schemes
+from repro.bench.sweep import (
+    SweepPoint,
+    best_per_scheme,
+    run_baseline_series,
+    run_cosma_series,
+    run_dtensor_series,
+    run_ua_point,
+    run_ua_sweep,
+    valid_replication_factors,
+)
+from repro.bench.workloads import mlp1_workload, mlp2_workload
+from repro.topology.machines import uniform_system
+
+# A machine and workload small enough for sweeping in unit tests.
+MACHINE = uniform_system(4)
+SMALL_MLP1 = mlp1_workload(1024).scaled(1 / 64)
+SMALL_MLP2 = mlp2_workload(1024).scaled(1 / 64)
+
+
+class TestReplicationFactors:
+    def test_divisors_of_device_count(self):
+        assert valid_replication_factors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_limit_applied(self):
+        assert valid_replication_factors(12, [1, 2, 5]) == [1, 2]
+
+
+class TestRunUaPoint:
+    def test_point_fields(self):
+        point = run_ua_point(MACHINE, SMALL_MLP1, scheme_by_name("column"),
+                             stationary="C")
+        assert point.series == "UA - Column"
+        assert point.batch == SMALL_MLP1.m
+        assert 0 < point.percent_of_peak <= 100
+        assert point.simulated_time > 0
+        assert point.stationary == "C"
+
+    def test_replication_label_uniform(self):
+        point = SweepPoint("s", "w", 1024, 50.0, 0.01, replication=(2, 2, 2))
+        assert point.replication_label == "2"
+
+    def test_replication_label_mixed(self):
+        point = SweepPoint("s", "w", 1024, 50.0, 0.01, replication=(2, 2, 1))
+        assert point.replication_label == "2-1"
+
+    def test_row_dict(self):
+        point = run_ua_point(MACHINE, SMALL_MLP1, scheme_by_name("row"), stationary="C")
+        row = point.row()
+        assert row["series"] == "UA - Row"
+        assert "percent_of_peak" in row and "simulated_time_ms" in row
+
+
+class TestSweep:
+    def test_sweep_covers_all_combinations(self):
+        schemes = [scheme_by_name("column"), scheme_by_name("row")]
+        points = run_ua_sweep(MACHINE, [SMALL_MLP1], schemes=schemes,
+                              replication_factors=[1, 2], stationary_options=("C",))
+        assert len(points) == 2 * 2 * 1
+
+    def test_mixed_output_replication_expands_sweep(self):
+        schemes = [scheme_by_name("outer")]
+        base = run_ua_sweep(MACHINE, [SMALL_MLP2], schemes=schemes,
+                            replication_factors=[1, 2], stationary_options=("B",))
+        mixed = run_ua_sweep(MACHINE, [SMALL_MLP2], schemes=schemes,
+                             replication_factors=[1, 2], stationary_options=("B",),
+                             mixed_output_replication=True)
+        assert len(mixed) == 2 * len(base)
+
+    def test_best_per_scheme_keeps_one_bar_per_series_batch(self):
+        schemes = [scheme_by_name("column"), scheme_by_name("block")]
+        points = run_ua_sweep(MACHINE, [SMALL_MLP1], schemes=schemes,
+                              replication_factors=[1, 2],
+                              stationary_options=("B", "C"))
+        best = best_per_scheme(points)
+        assert len(best) == 2
+        for point in best:
+            candidates = [p for p in points
+                          if p.series == point.series and p.batch == point.batch]
+            assert point.percent_of_peak == max(p.percent_of_peak for p in candidates)
+
+    def test_default_schemes_are_all_six(self):
+        points = run_ua_sweep(MACHINE, [SMALL_MLP1], replication_factors=[1],
+                              stationary_options=("C",))
+        assert len({p.series for p in points}) == 6
+
+
+class TestComparatorSeries:
+    def test_dtensor_series_row_and_column(self):
+        points = run_dtensor_series(MACHINE, [SMALL_MLP1, SMALL_MLP2])
+        assert {p.series for p in points} == {"DT - Row", "DT - Column"}
+        assert len(points) == 4
+
+    def test_cosma_series(self):
+        points = run_cosma_series(MACHINE, [SMALL_MLP1])
+        assert points[0].series == "COSMA-NCCL"
+        assert "decomposition" in points[0].extra
+
+    def test_baseline_series(self):
+        points = run_baseline_series(MACHINE, [SMALL_MLP1], [OneDRing(), Summa()])
+        assert {p.series for p in points} == {"1d_ring", "summa"}
+
+
+class TestReporting:
+    @pytest.fixture
+    def points(self):
+        return run_dtensor_series(MACHINE, [SMALL_MLP1, SMALL_MLP2])
+
+    def test_format_table_contains_all_series(self, points):
+        table = format_table(points)
+        assert "DT - Row" in table and "DT - Column" in table
+        assert "percent_of_peak" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no results)"
+
+    def test_series_from_points_sorted_by_batch(self, points):
+        series = series_from_points(points)
+        for values in series.values():
+            batches = [batch for batch, _ in values]
+            assert batches == sorted(batches)
+
+    def test_print_figure_output(self, capsys, points):
+        text = print_figure("Test Figure", points)
+        captured = capsys.readouterr()
+        assert "Test Figure" in captured.out
+        assert "DT - Row" in text

@@ -1,0 +1,125 @@
+"""Unit tests for benchmark workloads and partitioning schemes."""
+
+import pytest
+
+from repro.bench.schemes import PartitioningScheme, aspect_grid, scheme_by_name, ua_schemes
+from repro.bench.workloads import (
+    BATCH_SIZES,
+    MLP_HIDDEN,
+    MLP_RATIO,
+    Workload,
+    mlp1_workload,
+    mlp2_workload,
+    square_workload,
+)
+from repro.bench.workloads import mlp1_series, mlp2_series
+
+
+class TestWorkloads:
+    def test_mlp1_dimensions_match_paper(self):
+        """MLP-1: m = batch, n = 48K, k = 12K."""
+        workload = mlp1_workload(4096)
+        assert workload.m == 4096
+        assert workload.n == 48 * 1024
+        assert workload.k == 12 * 1024
+
+    def test_mlp2_dimensions_match_paper(self):
+        """MLP-2: m = batch, n = 12K, k = 48K."""
+        workload = mlp2_workload(2048)
+        assert workload.n == 12 * 1024
+        assert workload.k == 48 * 1024
+
+    def test_paper_batch_sizes(self):
+        assert BATCH_SIZES == (1024, 2048, 4096, 8192)
+
+    def test_paper_constants(self):
+        assert MLP_HIDDEN == 12 * 1024
+        assert MLP_RATIO == 4
+
+    def test_flops(self):
+        workload = Workload("w", 10, 20, 30)
+        assert workload.flops == 2.0 * 10 * 20 * 30
+
+    def test_shapes(self):
+        workload = Workload("w", 10, 20, 30)
+        assert workload.shapes == ((10, 30), (30, 20), (10, 20))
+
+    def test_square(self):
+        workload = square_workload(512)
+        assert workload.m == workload.n == workload.k == 512
+
+    def test_scaled(self):
+        workload = mlp1_workload(1024).scaled(0.125)
+        assert workload.m == 128
+        assert workload.k == 1536
+
+    def test_series_lengths(self):
+        assert len(mlp1_series()) == 4
+        assert len(mlp2_series((1024, 2048))) == 2
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Workload("bad", 0, 10, 10)
+
+
+class TestAspectGrid:
+    def test_square_shape_gets_square_grid(self):
+        assert aspect_grid((1000, 1000), 16) == (4, 4)
+
+    def test_tall_shape_gets_tall_grid(self):
+        rows, cols = aspect_grid((100000, 100), 12)
+        assert rows > cols
+
+    def test_wide_shape_gets_wide_grid(self):
+        rows, cols = aspect_grid((100, 100000), 12)
+        assert cols > rows
+
+    def test_product_equals_procs(self):
+        for procs in (2, 6, 12, 8):
+            rows, cols = aspect_grid((123, 456), procs)
+            assert rows * cols == procs
+
+
+class TestSchemes:
+    def test_six_schemes_defined(self):
+        names = {scheme.name for scheme in ua_schemes()}
+        assert names == {"column", "row", "block", "inner", "outer", "traditional"}
+
+    def test_labels_match_figure_legend(self):
+        labels = {scheme.label for scheme in ua_schemes()}
+        assert "UA - Column" in labels
+        assert "UA - Outer Prod." in labels
+
+    def test_scheme_by_name(self):
+        assert scheme_by_name("column").name == "column"
+        assert scheme_by_name("OUTER").name == "outer"
+
+    def test_scheme_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            scheme_by_name("diagonal")
+
+    def test_partitions_built_per_matrix(self):
+        workload = mlp1_workload(1024)
+        scheme = scheme_by_name("outer")
+        part_a, part_b, part_c = scheme.partitions(workload, 12, 12, 12)
+        assert part_a.name == "column"
+        assert part_b.name == "row"
+        assert part_c.name == "block"
+
+    def test_column_scheme_only_moves_a(self):
+        """Behavioural check of the scheme table's key claim."""
+        from repro.bench.sweep import run_ua_point
+        from repro.topology.machines import uniform_system
+
+        point = run_ua_point(uniform_system(4), mlp1_workload(1024).scaled(1 / 64),
+                             scheme_by_name("column"), stationary="C")
+        assert point.extra["remote_accumulate_bytes"] == 0
+
+    def test_outer_scheme_only_accumulates(self):
+        from repro.bench.sweep import run_ua_point
+        from repro.topology.machines import uniform_system
+
+        point = run_ua_point(uniform_system(4), mlp2_workload(1024).scaled(1 / 64),
+                             scheme_by_name("outer"), stationary="B")
+        assert point.extra["remote_get_bytes"] == 0
+        assert point.extra["remote_accumulate_bytes"] > 0

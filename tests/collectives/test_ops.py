@@ -1,0 +1,86 @@
+"""Unit tests for the one-sided implementations of collectives."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.ops import allgather, allreduce, broadcast, reduce_scatter
+from repro.runtime.runtime import Runtime
+from repro.topology.machines import uniform_system
+
+
+@pytest.fixture
+def runtime():
+    return Runtime(machine=uniform_system(4))
+
+
+def per_rank_buffers(shape, ranks, value_fn):
+    return {rank: np.full(shape, value_fn(rank), dtype=np.float32) for rank in ranks}
+
+
+class TestBroadcast:
+    def test_all_ranks_receive_root_value(self, runtime):
+        ranks = [0, 1, 2, 3]
+        buffers = per_rank_buffers((2, 2), ranks, lambda r: float(r))
+        out = broadcast(runtime, buffers, ranks, root=2)
+        for rank in ranks:
+            assert np.all(out[rank] == 2.0)
+
+    def test_subgroup_broadcast(self, runtime):
+        ranks = [1, 3]
+        buffers = per_rank_buffers((2, 2), ranks, lambda r: float(r))
+        out = broadcast(runtime, buffers, ranks, root=3)
+        assert np.all(out[1] == 3.0)
+
+    def test_root_must_be_member(self, runtime):
+        buffers = per_rank_buffers((2, 2), [0, 1], lambda r: 0.0)
+        with pytest.raises(ValueError):
+            broadcast(runtime, buffers, [0, 1], root=3)
+
+
+class TestAllgather:
+    def test_concatenates_in_rank_order(self, runtime):
+        ranks = [0, 1, 2, 3]
+        buffers = {rank: np.full((1, 3), rank, dtype=np.float32) for rank in ranks}
+        out = allgather(runtime, buffers, ranks, axis=0)
+        expected = np.array([[0, 0, 0], [1, 1, 1], [2, 2, 2], [3, 3, 3]], dtype=np.float32)
+        for rank in ranks:
+            np.testing.assert_array_equal(out[rank], expected)
+
+    def test_axis_one(self, runtime):
+        ranks = [0, 1]
+        buffers = {rank: np.full((2, 2), rank, dtype=np.float32) for rank in ranks}
+        out = allgather(runtime, buffers, ranks, axis=1)
+        assert out[0].shape == (2, 4)
+
+
+class TestAllreduce:
+    def test_sum_received_everywhere(self, runtime):
+        ranks = [0, 1, 2, 3]
+        buffers = per_rank_buffers((3, 2), ranks, lambda r: float(r + 1))
+        out = allreduce(runtime, buffers, ranks)
+        for rank in ranks:
+            assert np.all(out[rank] == 10.0)
+
+    def test_subgroup(self, runtime):
+        ranks = [0, 2]
+        buffers = per_rank_buffers((2, 2), ranks, lambda r: 1.0)
+        out = allreduce(runtime, buffers, ranks)
+        assert np.all(out[2] == 2.0)
+
+
+class TestReduceScatter:
+    def test_chunks_sum_and_scatter(self, runtime):
+        ranks = [0, 1, 2, 3]
+        buffers = per_rank_buffers((4, 2), ranks, lambda r: 1.0)
+        out = reduce_scatter(runtime, buffers, ranks, axis=0)
+        for position, rank in enumerate(ranks):
+            assert out[rank].shape == (1, 2)
+            assert np.all(out[rank] == 4.0)
+
+    def test_concatenation_recovers_full_reduction(self, runtime):
+        ranks = [0, 1]
+        buffers = {0: np.arange(8, dtype=np.float32).reshape(4, 2),
+                   1: np.ones((4, 2), dtype=np.float32)}
+        out = reduce_scatter(runtime, buffers, ranks, axis=0)
+        full = np.concatenate([out[0], out[1]], axis=0)
+        np.testing.assert_array_equal(full, buffers[0] + buffers[1])

@@ -1,0 +1,134 @@
+"""Unit tests for the roofline/bandwidth cost model."""
+
+import pytest
+
+from repro.core.cost_model import CostModel, GemmShapeModel
+from repro.core.ops import LocalMatmulOp, OperandRef
+from repro.topology.machines import h100_system, pvc_system, uniform_system
+from repro.util.indexing import Interval, Rect
+
+
+@pytest.fixture
+def pvc_model():
+    return CostModel(pvc_system(12))
+
+
+def make_op(rank, a_owner, b_owner, c_owner, m, k, n):
+    mb, kb, nb = Interval(0, m), Interval(0, k), Interval(0, n)
+    return LocalMatmulOp(
+        rank=rank,
+        a=OperandRef((0, 0), 0, a_owner, Rect(mb, kb)),
+        b=OperandRef((0, 0), 0, b_owner, Rect(kb, nb)),
+        c=OperandRef((0, 0), 0, c_owner, Rect(mb, nb)),
+        m_bound=mb, k_bound=kb, n_bound=nb,
+        stationary_index=(0, 0),
+    )
+
+
+class TestGemmShapeModel:
+    def test_large_dims_near_one(self):
+        model = GemmShapeModel()
+        assert model.efficiency(8192, 8192, 8192) > 0.95
+
+    def test_small_dims_penalised(self):
+        model = GemmShapeModel()
+        assert model.efficiency(16, 8192, 8192) < 0.35
+
+    def test_monotone_in_each_dim(self):
+        model = GemmShapeModel()
+        assert model.efficiency(128, 1024, 1024) < model.efficiency(1024, 1024, 1024)
+
+    def test_degenerate_dims_return_one(self):
+        assert GemmShapeModel().efficiency(0, 10, 10) == 1.0
+
+
+class TestGemmTime:
+    def test_scales_with_flops(self, pvc_model):
+        small = pvc_model.gemm_time(1024, 1024, 1024)
+        large = pvc_model.gemm_time(2048, 2048, 2048)
+        assert large > 4 * small  # 8x flops, some overhead amortised
+
+    def test_zero_dims_free(self, pvc_model):
+        assert pvc_model.gemm_time(0, 10, 10) == 0.0
+
+    def test_never_exceeds_peak(self, pvc_model):
+        m = n = k = 8192
+        time = pvc_model.gemm_time(m, n, k)
+        flops = 2.0 * m * n * k
+        assert flops / time <= pvc_model.machine.flops_peak
+
+    def test_includes_launch_overhead(self, pvc_model):
+        assert pvc_model.gemm_time(1, 1, 1) >= pvc_model.machine.kernel_launch_overhead
+
+    def test_h100_faster_than_pvc(self):
+        pvc = CostModel(pvc_system(12)).gemm_time(4096, 4096, 4096)
+        h100 = CostModel(h100_system(8)).gemm_time(4096, 4096, 4096)
+        assert h100 < pvc
+
+
+class TestCommunicationTimes:
+    def test_local_transfer_is_free(self, pvc_model):
+        assert pvc_model.transfer_time(3, 3, 1 << 20) == 0.0
+
+    def test_remote_transfer_positive(self, pvc_model):
+        assert pvc_model.transfer_time(0, 5, 1 << 20) > 0.0
+
+    def test_accumulate_slower_than_copy(self, pvc_model):
+        copy = pvc_model.transfer_time(0, 5, 1 << 24)
+        accumulate = pvc_model.accumulate_time(0, 5, 1 << 24)
+        assert accumulate > copy
+        # The paper's kernel reaches ~80% of copy bandwidth.
+        assert accumulate == pytest.approx(copy / 0.8, rel=0.05)
+
+    def test_local_accumulate_memory_bound(self, pvc_model):
+        nbytes = 1 << 24
+        expected = 3 * nbytes / pvc_model.machine.memory_bandwidth
+        assert pvc_model.local_accumulate_time(nbytes) == pytest.approx(
+            expected + pvc_model.machine.kernel_launch_overhead
+        )
+
+    def test_zero_bytes_free(self, pvc_model):
+        assert pvc_model.accumulate_time(0, 1, 0) == 0.0
+
+
+class TestOpLevel:
+    def test_fetch_time_counts_only_remote_operands(self, pvc_model):
+        local = make_op(0, 0, 0, 0, 128, 128, 128)
+        remote_b = make_op(0, 0, 5, 0, 128, 128, 128)
+        assert pvc_model.op_fetch_time(local) == 0.0
+        assert pvc_model.op_fetch_time(remote_b) > 0.0
+
+    def test_accumulate_time_local_vs_remote(self, pvc_model):
+        local = make_op(0, 0, 0, 0, 128, 128, 128)
+        remote = make_op(0, 0, 0, 5, 128, 128, 128)
+        assert pvc_model.op_accumulate_time(remote) > pvc_model.op_accumulate_time(local)
+
+    def test_estimate_op_list_lower_bounded_by_compute(self, pvc_model):
+        ops = [make_op(0, 0, 1, 0, 512, 512, 512) for _ in range(4)]
+        estimate = pvc_model.estimate_op_list(ops)
+        compute = sum(pvc_model.op_compute_time(op) for op in ops)
+        assert estimate >= compute
+
+    def test_estimate_empty(self, pvc_model):
+        assert pvc_model.estimate_op_list([]) == 0.0
+        assert pvc_model.estimate_op_lists({}) == 0.0
+
+    def test_estimate_op_lists_takes_slowest_rank(self, pvc_model):
+        light = [make_op(0, 0, 1, 0, 64, 64, 64)]
+        heavy = [make_op(1, 1, 0, 1, 2048, 2048, 2048)]
+        combined = pvc_model.estimate_op_lists({0: light, 1: heavy})
+        assert combined == pvc_model.estimate_op_list(heavy)
+
+
+class TestPercentOfPeak:
+    def test_zero_time(self, pvc_model):
+        assert pvc_model.percent_of_peak(1.0e12, 0.0) == 0.0
+
+    def test_at_peak_is_100(self, pvc_model):
+        machine = pvc_model.machine
+        flops = machine.total_peak() * 2.0  # two seconds of full-machine work
+        assert pvc_model.percent_of_peak(flops, 2.0) == pytest.approx(100.0)
+
+    def test_uniform_machine(self):
+        model = CostModel(uniform_system(4, flops_peak=1.0e12))
+        assert model.percent_of_peak(2.0e12, 1.0) == pytest.approx(50.0)

@@ -1,0 +1,205 @@
+"""Unit tests for the computation graph, the IR, and the lowering strategies."""
+
+import pytest
+
+from repro.core.config import ExecutionConfig, LoweringStrategy
+from repro.core.cost_model import CostModel
+from repro.core.graph import ComputationGraph
+from repro.core.ir import IRCommOp, IRComputeOp, IRProgram, IRStep
+from repro.core.lowering import lower_all_ranks, lower_to_ir
+from repro.core.schedule_sim import estimate_program_time
+from repro.core.slicing import generate_all_ops, generate_local_ops
+from repro.core.stationary import Stationary
+from repro.dist.matrix import DistributedMatrix
+from repro.dist.partition import Block2D, ColumnBlock, RowBlock
+from repro.runtime.runtime import Runtime
+from repro.topology.machines import uniform_system
+
+
+@pytest.fixture
+def runtime():
+    return Runtime(machine=uniform_system(4))
+
+
+@pytest.fixture
+def problem(runtime):
+    a = DistributedMatrix.create(runtime, (32, 24), RowBlock(), name="A", materialize=False)
+    b = DistributedMatrix.create(runtime, (24, 28), ColumnBlock(), name="B", materialize=False)
+    c = DistributedMatrix.create(runtime, (32, 28), Block2D(), name="C", materialize=False)
+    return a, b, c
+
+
+@pytest.fixture
+def cost_model(runtime):
+    return CostModel(runtime.machine)
+
+
+class TestComputationGraph:
+    def test_build_records_all_dependencies(self, problem):
+        a, b, c = problem
+        ops = generate_local_ops(a, b, c, Stationary.C, 0)
+        graph = ComputationGraph.build(0, ops)
+        assert graph.num_ops == len(ops)
+        for index in range(graph.num_ops):
+            deps = graph.dependencies[index]
+            assert len(deps) == 2  # one A tile, one B tile
+            names = {key[0] for key in deps}
+            assert names == {"A", "B"}
+
+    def test_local_tiles_start_satisfied(self, problem):
+        a, b, c = problem
+        ops = generate_local_ops(a, b, c, Stationary.C, 0)
+        graph = ComputationGraph.build(0, ops)
+        for key in graph.initially_satisfied:
+            assert graph.data_nodes[key].owner == 0
+
+    def test_remote_data_keys_disjoint_from_satisfied(self, problem):
+        a, b, c = problem
+        ops = generate_local_ops(a, b, c, Stationary.C, 1)
+        graph = ComputationGraph.build(1, ops)
+        assert set(graph.remote_data_keys()).isdisjoint(graph.initially_satisfied)
+
+    def test_ops_depending_on(self, problem):
+        a, b, c = problem
+        ops = generate_local_ops(a, b, c, Stationary.C, 0)
+        graph = ComputationGraph.build(0, ops)
+        for key in graph.data_nodes:
+            dependents = graph.ops_depending_on(key)
+            assert all(key in graph.dependencies[index] for index in dependents)
+
+    def test_total_remote_bytes_positive_for_distributed_problem(self, problem):
+        a, b, c = problem
+        ops = generate_local_ops(a, b, c, Stationary.C, 2)
+        graph = ComputationGraph.build(2, ops)
+        assert graph.total_remote_bytes() > 0
+
+    def test_is_ready(self, problem):
+        a, b, c = problem
+        ops = generate_local_ops(a, b, c, Stationary.C, 0)
+        graph = ComputationGraph.build(0, ops)
+        all_keys = set(graph.data_nodes)
+        for index in range(graph.num_ops):
+            assert graph.is_ready(index, all_keys)
+            assert graph.unsatisfied_deps(index, all_keys) == []
+
+
+class TestIRProgram:
+    def test_validate_accepts_complete_program(self):
+        program = IRProgram(rank=0, steps=[
+            IRStep(computes=[IRComputeOp(0)]),
+            IRStep(computes=[IRComputeOp(1), IRComputeOp(2)]),
+        ])
+        program.validate(3)
+
+    def test_validate_rejects_missing_op(self):
+        program = IRProgram(rank=0, steps=[IRStep(computes=[IRComputeOp(0)])])
+        with pytest.raises(ValueError):
+            program.validate(2)
+
+    def test_validate_rejects_duplicate_comm(self):
+        comm = IRCommOp(("A", 0, (0, 0)), owner=1, nbytes=64)
+        program = IRProgram(rank=0, steps=[IRStep(comms=[comm]), IRStep(comms=[comm])])
+        with pytest.raises(ValueError):
+            program.validate(0)
+
+    def test_empty_step_detection(self):
+        assert IRStep().is_empty
+        assert not IRStep(computes=[IRComputeOp(0)]).is_empty
+
+
+@pytest.mark.parametrize("strategy", [LoweringStrategy.GREEDY,
+                                      LoweringStrategy.COST_GREEDY,
+                                      LoweringStrategy.EXHAUSTIVE])
+class TestLoweringStrategies:
+    def test_program_schedules_every_op_once(self, problem, cost_model, strategy):
+        a, b, c = problem
+        config = ExecutionConfig(lowering=strategy, exhaustive_search_limit=200)
+        for rank in range(4):
+            ops = generate_local_ops(a, b, c, Stationary.C, rank)
+            graph = ComputationGraph.build(rank, ops)
+            program = lower_to_ir(graph, cost_model, config)
+            program.validate(len(ops))
+
+    def test_comms_precede_dependent_computes(self, problem, cost_model, strategy):
+        a, b, c = problem
+        config = ExecutionConfig(lowering=strategy, exhaustive_search_limit=200)
+        rank = 3
+        ops = generate_local_ops(a, b, c, Stationary.C, rank)
+        graph = ComputationGraph.build(rank, ops)
+        program = lower_to_ir(graph, cost_model, config)
+
+        satisfied = set(graph.initially_satisfied)
+        in_flight = set()
+        for step in program.steps:
+            satisfied |= in_flight
+            for compute in step.computes:
+                assert graph.dependencies[compute.op_index] <= satisfied, (
+                    "a compute ran before its data dependency was satisfied"
+                )
+            in_flight = {comm.data for comm in step.comms}
+
+    def test_every_remote_dependency_fetched(self, problem, cost_model, strategy):
+        a, b, c = problem
+        config = ExecutionConfig(lowering=strategy, exhaustive_search_limit=200)
+        rank = 2
+        ops = generate_local_ops(a, b, c, Stationary.C, rank)
+        graph = ComputationGraph.build(rank, ops)
+        program = lower_to_ir(graph, cost_model, config)
+        fetched = set(program.comm_keys())
+        assert set(graph.remote_data_keys()) <= fetched | graph.initially_satisfied
+
+
+class TestLoweringQuality:
+    def test_cost_greedy_not_worse_than_greedy(self, problem, cost_model):
+        a, b, c = problem
+        rank = 1
+        ops = generate_local_ops(a, b, c, Stationary.C, rank)
+        graph = ComputationGraph.build(rank, ops)
+        greedy = lower_to_ir(graph, cost_model, ExecutionConfig(),
+                             strategy=LoweringStrategy.GREEDY)
+        cost_greedy = lower_to_ir(graph, cost_model, ExecutionConfig(),
+                                  strategy=LoweringStrategy.COST_GREEDY)
+        assert estimate_program_time(cost_greedy, graph, cost_model) <= \
+            estimate_program_time(greedy, graph, cost_model) * 1.25
+
+    def test_exhaustive_at_least_as_good_as_greedy(self, runtime, cost_model):
+        a = DistributedMatrix.create(runtime, (16, 12), RowBlock(), name="A",
+                                     materialize=False)
+        b = DistributedMatrix.create(runtime, (12, 16), RowBlock(), name="B",
+                                     materialize=False)
+        c = DistributedMatrix.create(runtime, (16, 16), RowBlock(), name="C",
+                                     materialize=False)
+        rank = 0
+        ops = generate_local_ops(a, b, c, Stationary.C, rank)
+        assert 1 < len(ops) <= 6  # small enough to search exhaustively
+        graph = ComputationGraph.build(rank, ops)
+        config = ExecutionConfig(exhaustive_search_limit=10000)
+        greedy = lower_to_ir(graph, cost_model, config, strategy=LoweringStrategy.GREEDY)
+        exhaustive = lower_to_ir(graph, cost_model, config,
+                                 strategy=LoweringStrategy.EXHAUSTIVE)
+        assert estimate_program_time(exhaustive, graph, cost_model) <= \
+            estimate_program_time(greedy, graph, cost_model) + 1e-12
+
+    def test_exhaustive_falls_back_when_too_large(self, problem, cost_model):
+        a, b, c = problem
+        rank = 0
+        ops = generate_local_ops(a, b, c, Stationary.C, rank)
+        graph = ComputationGraph.build(rank, ops)
+        config = ExecutionConfig(exhaustive_search_limit=1)
+        program = lower_to_ir(graph, cost_model, config,
+                              strategy=LoweringStrategy.EXHAUSTIVE)
+        program.validate(len(ops))  # falls back to cost-greedy but stays valid
+
+    def test_lower_all_ranks(self, problem, cost_model):
+        a, b, c = problem
+        per_rank_ops = generate_all_ops(a, b, c, Stationary.C)
+        programs = lower_all_ranks(per_rank_ops, cost_model)
+        assert set(programs) == set(range(4))
+        for rank, program in programs.items():
+            program.validate(len(per_rank_ops[rank]))
+
+    def test_empty_op_list(self, cost_model):
+        graph = ComputationGraph.build(0, [])
+        program = lower_to_ir(graph, cost_model, ExecutionConfig())
+        assert program.steps == []
+        assert estimate_program_time(program, graph, cost_model) == 0.0

@@ -1,0 +1,110 @@
+"""Unit tests for LocalMatmulOp and ExecutionConfig."""
+
+import pytest
+
+from repro.core.config import ExecutionConfig, ExecutionMode, LoweringStrategy
+from repro.core.ops import LocalMatmulOp, OperandRef
+from repro.util.indexing import Interval, Rect
+
+
+def make_op(rank=0, a_owner=0, b_owner=1, c_owner=0, m=(0, 4), k=(0, 6), n=(0, 8),
+            itemsize=4):
+    m_bound, k_bound, n_bound = Interval(*m), Interval(*k), Interval(*n)
+    return LocalMatmulOp(
+        rank=rank,
+        a=OperandRef((0, 0), 0, a_owner, Rect(m_bound, k_bound)),
+        b=OperandRef((0, 0), 0, b_owner, Rect(k_bound, n_bound)),
+        c=OperandRef((0, 0), 0, c_owner, Rect(m_bound, n_bound)),
+        m_bound=m_bound, k_bound=k_bound, n_bound=n_bound,
+        stationary_index=(0, 0),
+        itemsize=itemsize,
+    )
+
+
+class TestLocalMatmulOp:
+    def test_dimensions(self):
+        op = make_op(m=(2, 6), k=(0, 3), n=(1, 9))
+        assert (op.m, op.k, op.n) == (4, 3, 8)
+
+    def test_flops(self):
+        op = make_op(m=(0, 4), k=(0, 6), n=(0, 8))
+        assert op.flops == 2 * 4 * 6 * 8
+
+    def test_byte_counts(self):
+        op = make_op(m=(0, 4), k=(0, 6), n=(0, 8), itemsize=4)
+        assert op.a_bytes == 4 * 6 * 4
+        assert op.b_bytes == 6 * 8 * 4
+        assert op.c_bytes == 4 * 8 * 4
+
+    def test_remote_flags(self):
+        op = make_op(rank=0, a_owner=0, b_owner=1, c_owner=2)
+        assert not op.a_is_remote
+        assert op.b_is_remote
+        assert op.c_is_remote
+
+    def test_remote_fetch_bytes_only_counts_remote(self):
+        op = make_op(rank=0, a_owner=0, b_owner=1)
+        assert op.remote_fetch_bytes == op.b_bytes
+
+    def test_remote_accumulate_bytes(self):
+        local = make_op(rank=0, c_owner=0)
+        remote = make_op(rank=0, c_owner=3)
+        assert local.remote_accumulate_bytes == 0
+        assert remote.remote_accumulate_bytes == remote.c_bytes
+
+    def test_empty_op(self):
+        op = make_op(k=(3, 3))
+        assert op.is_empty
+        assert op.flops == 0
+
+    def test_describe_mentions_all_operands(self):
+        text = make_op().describe()
+        assert "A(0, 0)" in text and "B(0, 0)" in text and "C(0, 0)" in text
+
+    def test_operand_ref_full_tile_detection(self):
+        ref = OperandRef((0, 0), 0, 0, Rect.from_bounds(0, 4, 0, 4))
+        offset = OperandRef((0, 0), 0, 0, Rect.from_bounds(1, 4, 0, 4))
+        assert ref.is_full_tile
+        assert not offset.is_full_tile
+
+
+class TestExecutionConfig:
+    def test_defaults_match_paper(self):
+        config = ExecutionConfig()
+        assert config.mode is ExecutionMode.DIRECT
+        assert config.prefetch_depth == 2
+        assert config.iteration_offset is True
+        assert config.async_execution is True
+        assert config.use_memory_pool is True
+
+    def test_synchronous_preset_disables_overlap(self):
+        config = ExecutionConfig.synchronous()
+        assert config.prefetch_depth == 0
+        assert not config.async_execution
+        assert not config.iteration_offset
+        assert config.max_concurrent_gemms == 1
+
+    def test_evolve(self):
+        config = ExecutionConfig().evolve(prefetch_depth=5)
+        assert config.prefetch_depth == 5
+        assert config.mode is ExecutionMode.DIRECT
+
+    def test_invalid_prefetch(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(prefetch_depth=-1)
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(max_concurrent_gemms=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(max_concurrent_accumulates=0)
+
+    def test_invalid_search_limit(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(exhaustive_search_limit=0)
+
+    def test_mode_and_lowering_enums(self):
+        config = ExecutionConfig(mode=ExecutionMode.IR,
+                                 lowering=LoweringStrategy.EXHAUSTIVE)
+        assert config.mode.value == "ir"
+        assert config.lowering.value == "exhaustive"

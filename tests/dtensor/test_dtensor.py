@@ -1,0 +1,112 @@
+"""Unit tests for the DTensor wrapper and redistribution."""
+
+import numpy as np
+import pytest
+
+from repro.dtensor.device_mesh import DeviceMesh
+from repro.dtensor.dtensor import DTensor
+from repro.dtensor.placement import Partial, Replicate, Shard
+from repro.topology.machines import uniform_system
+from repro.util.validation import ShapeError
+
+
+@pytest.fixture
+def mesh():
+    return DeviceMesh(uniform_system(4))
+
+
+@pytest.fixture
+def dense():
+    return np.arange(8 * 12, dtype=np.float32).reshape(8, 12)
+
+
+class TestConstruction:
+    def test_shard_rows_round_trip(self, mesh, dense):
+        tensor = DTensor.from_dense(mesh, dense, Shard(0))
+        np.testing.assert_array_equal(tensor.to_dense(), dense)
+        assert tensor.shard(0).shape == (2, 12)
+
+    def test_shard_cols_round_trip(self, mesh, dense):
+        tensor = DTensor.from_dense(mesh, dense, Shard(1))
+        np.testing.assert_array_equal(tensor.to_dense(), dense)
+        assert tensor.shard(0).shape == (8, 3)
+
+    def test_replicate_every_rank_full_copy(self, mesh, dense):
+        tensor = DTensor.from_dense(mesh, dense, Replicate())
+        for rank in mesh:
+            np.testing.assert_array_equal(tensor.shard(rank), dense)
+
+    def test_partial_sums_to_value(self, mesh, dense):
+        tensor = DTensor.from_dense(mesh, dense, Partial())
+        np.testing.assert_array_equal(tensor.to_dense(), dense)
+
+    def test_non_2d_rejected(self, mesh):
+        with pytest.raises(ShapeError):
+            DTensor.from_dense(mesh, np.ones(5), Shard(0))
+
+    def test_symbolic_has_no_data(self, mesh):
+        tensor = DTensor.symbolic(mesh, (1 << 14, 1 << 14), Shard(0))
+        assert not tensor.is_materialized
+        with pytest.raises(ShapeError):
+            tensor.to_dense()
+        with pytest.raises(ShapeError):
+            tensor.shard(0)
+
+    def test_local_shape(self, mesh):
+        tensor = DTensor.symbolic(mesh, (100, 80), Shard(0))
+        assert tensor.local_shape(0) == (25, 80)
+        replicated = DTensor.symbolic(mesh, (100, 80), Replicate())
+        assert replicated.local_shape(3) == (100, 80)
+
+    def test_nbytes(self, mesh):
+        tensor = DTensor.symbolic(mesh, (10, 10), Shard(0), dtype=np.float32)
+        assert tensor.nbytes == 400
+
+
+class TestRedistribute:
+    def test_shard_to_replicate(self, mesh, dense):
+        tensor = DTensor.from_dense(mesh, dense, Shard(0))
+        out, cost = tensor.redistribute(Replicate())
+        np.testing.assert_array_equal(out.to_dense(), dense)
+        assert cost.collective == "all_gather"
+        assert cost.time > 0
+
+    def test_replicate_to_shard_is_free(self, mesh, dense):
+        tensor = DTensor.from_dense(mesh, dense, Replicate())
+        out, cost = tensor.redistribute(Shard(1))
+        np.testing.assert_array_equal(out.to_dense(), dense)
+        assert cost.time == 0.0
+
+    def test_shard_dim_change_uses_all_to_all(self, mesh, dense):
+        tensor = DTensor.from_dense(mesh, dense, Shard(0))
+        out, cost = tensor.redistribute(Shard(1))
+        np.testing.assert_array_equal(out.to_dense(), dense)
+        assert cost.collective == "all_to_all"
+
+    def test_partial_to_shard_uses_reduce_scatter(self, mesh, dense):
+        tensor = DTensor.from_dense(mesh, dense, Partial())
+        out, cost = tensor.redistribute(Shard(0))
+        np.testing.assert_array_equal(out.to_dense(), dense)
+        assert cost.collective == "reduce_scatter"
+
+    def test_partial_to_replicate_uses_allreduce(self, mesh, dense):
+        tensor = DTensor.from_dense(mesh, dense, Partial())
+        out, cost = tensor.redistribute(Replicate())
+        np.testing.assert_array_equal(out.to_dense(), dense)
+        assert cost.collective == "all_reduce"
+
+    def test_same_placement_is_free(self, mesh, dense):
+        tensor = DTensor.from_dense(mesh, dense, Shard(0))
+        _, cost = tensor.redistribute(Shard(0))
+        assert cost.time == 0.0 and cost.bytes_moved == 0
+
+    def test_symbolic_redistribute_keeps_symbolic(self, mesh):
+        tensor = DTensor.symbolic(mesh, (1024, 1024), Shard(0))
+        out, cost = tensor.redistribute(Replicate())
+        assert not out.is_materialized
+        assert cost.time > 0
+
+    def test_all_gather_slower_for_bigger_tensors(self, mesh):
+        small = DTensor.symbolic(mesh, (256, 256), Shard(0)).redistribute_cost(Replicate())
+        large = DTensor.symbolic(mesh, (4096, 4096), Shard(0)).redistribute_cost(Replicate())
+        assert large.time > small.time

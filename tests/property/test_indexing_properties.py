@@ -1,0 +1,92 @@
+"""Property-based tests of the index-arithmetic primitives (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.indexing import Interval, Rect, block_bounds, block_index_range, split_extent
+
+intervals = st.builds(
+    lambda start, extent: Interval(start, start + extent),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+)
+
+
+class TestIntervalProperties:
+    @given(intervals, intervals)
+    def test_intersection_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals, intervals, intervals)
+    def test_intersection_associative(self, a, b, c):
+        assert a.intersect(b).intersect(c) == a.intersect(b.intersect(c))
+
+    @given(intervals, intervals)
+    def test_intersection_contained_in_both(self, a, b):
+        overlap = a.intersect(b)
+        if overlap:
+            assert a.contains_interval(overlap)
+            assert b.contains_interval(overlap)
+
+    @given(intervals)
+    def test_intersection_with_self_is_identity(self, interval):
+        assert interval.intersect(interval) == interval
+
+    @given(intervals, st.integers(min_value=-500, max_value=500))
+    def test_shift_roundtrip(self, interval, offset):
+        assert interval.shift(offset).shift(-offset) == interval
+
+    @given(intervals, intervals)
+    def test_overlaps_iff_nonempty_intersection(self, a, b):
+        assert a.overlaps(b) == bool(a.intersect(b))
+
+
+class TestSplitProperties:
+    @given(st.integers(min_value=0, max_value=10000), st.integers(min_value=1, max_value=64))
+    def test_split_extent_sums_to_extent(self, extent, parts):
+        pieces = split_extent(extent, parts)
+        assert sum(pieces) == extent
+        assert len(pieces) == parts
+        assert max(pieces) - min(pieces) <= 1
+
+    @given(st.integers(min_value=1, max_value=10000), st.integers(min_value=1, max_value=64))
+    def test_block_bounds_partition_the_extent(self, extent, parts):
+        cursor = 0
+        for index in range(parts):
+            bounds = block_bounds(extent, parts, index)
+            assert bounds.start == cursor
+            cursor = bounds.stop
+        assert cursor == extent
+
+    @given(st.integers(min_value=1, max_value=2000), st.integers(min_value=1, max_value=32),
+           intervals)
+    @settings(max_examples=200)
+    def test_block_index_range_matches_bruteforce(self, extent, parts, query):
+        parts = min(parts, extent)
+        lo, hi = block_index_range(extent, parts, query)
+        brute = [
+            index for index in range(parts)
+            if block_bounds(extent, parts, index).overlaps(query)
+        ]
+        assert list(range(lo, hi)) == brute
+
+
+class TestRectProperties:
+    rects = st.builds(
+        lambda r, c: Rect(r, c),
+        intervals, intervals,
+    )
+
+    @given(rects, rects)
+    def test_rect_intersection_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(rects)
+    def test_size_is_product_of_extents(self, rect):
+        assert rect.size == rect.rows.extent * rect.cols.extent
+
+    @given(rects, rects)
+    def test_intersection_contained(self, a, b):
+        overlap = a.intersect(b)
+        if overlap:
+            assert a.contains(overlap) and b.contains(overlap)

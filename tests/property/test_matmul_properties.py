@@ -1,0 +1,115 @@
+"""Property-based end-to-end tests: random partitionings must still multiply correctly.
+
+These are the highest-value properties in the suite: for *any* combination of
+operand partitionings (including randomly generated misaligned custom tile
+boundaries), replication factors, and data-movement strategies, the universal
+algorithm must produce exactly ``A @ B``, and its generated op list must tile
+the m x k x n iteration space exactly once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ExecutionConfig
+from repro.core.matmul import universal_matmul
+from repro.core.slicing import check_coverage, generate_all_ops
+from repro.core.stationary import Stationary
+from repro.dist.matrix import DistributedMatrix
+from repro.dist.partition import Block2D, ColumnBlock, CustomTiles, RowBlock
+from repro.runtime.runtime import Runtime
+from repro.topology.machines import uniform_system
+
+
+@st.composite
+def custom_partition(draw, extent_rows, extent_cols):
+    """A CustomTiles partition with random interior cut points."""
+
+    def cuts(extent):
+        count = draw(st.integers(min_value=0, max_value=3))
+        interior = draw(st.lists(st.integers(min_value=1, max_value=extent - 1),
+                                 min_size=count, max_size=count, unique=True))
+        return [0] + sorted(interior) + [extent]
+
+    return CustomTiles(cuts(extent_rows), cuts(extent_cols))
+
+
+@st.composite
+def partition_for(draw, rows, cols):
+    kind = draw(st.sampled_from(["row", "column", "block", "custom"]))
+    if kind == "row":
+        return RowBlock()
+    if kind == "column":
+        return ColumnBlock()
+    if kind == "block":
+        return Block2D()
+    return draw(custom_partition(rows, cols))
+
+
+@st.composite
+def matmul_case(draw):
+    num_ranks = draw(st.sampled_from([2, 3, 4, 6]))
+    m = draw(st.integers(min_value=6, max_value=40))
+    n = draw(st.integers(min_value=6, max_value=40))
+    k = draw(st.integers(min_value=6, max_value=40))
+    divisors = [c for c in range(1, num_ranks + 1) if num_ranks % c == 0]
+    rep = tuple(draw(st.sampled_from(divisors)) for _ in range(3))
+    stationary = draw(st.sampled_from(list(Stationary)))
+    part_a = draw(partition_for(m, k))
+    part_b = draw(partition_for(k, n))
+    part_c = draw(partition_for(m, n))
+    return num_ranks, m, n, k, rep, stationary, part_a, part_b, part_c
+
+
+class TestUniversalMatmulProperties:
+    @given(matmul_case())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_random_configuration_produces_exact_product(self, case):
+        num_ranks, m, n, k, rep, stationary, part_a, part_b, part_c = case
+        runtime = Runtime(machine=uniform_system(num_ranks))
+        rng = np.random.default_rng(17)
+        a_dense = rng.standard_normal((m, k))
+        b_dense = rng.standard_normal((k, n))
+        a = DistributedMatrix.from_dense(runtime, a_dense, part_a, replication=rep[0],
+                                         name="A")
+        b = DistributedMatrix.from_dense(runtime, b_dense, part_b, replication=rep[1],
+                                         name="B")
+        c = DistributedMatrix.create(runtime, (m, n), part_c, replication=rep[2],
+                                     dtype=np.float64, name="C")
+        universal_matmul(a, b, c, stationary=stationary,
+                         config=ExecutionConfig(validate_ops=True))
+        np.testing.assert_allclose(c.to_dense(0), a_dense @ b_dense, rtol=1e-9, atol=1e-9)
+
+    @given(matmul_case())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_op_generation_covers_iteration_space_exactly_once(self, case):
+        num_ranks, m, n, k, rep, stationary, part_a, part_b, part_c = case
+        runtime = Runtime(machine=uniform_system(num_ranks))
+        a = DistributedMatrix.create(runtime, (m, k), part_a, replication=rep[0],
+                                     name="A", materialize=False)
+        b = DistributedMatrix.create(runtime, (k, n), part_b, replication=rep[1],
+                                     name="B", materialize=False)
+        c = DistributedMatrix.create(runtime, (m, n), part_c, replication=rep[2],
+                                     name="C", materialize=False)
+        ops = generate_all_ops(a, b, c, stationary)
+        check_coverage(a, b, c, ops)
+
+    @given(matmul_case())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_flops_conserved_across_ranks(self, case):
+        """The sum of per-op FLOPs must equal 2*m*n*k regardless of distribution."""
+        num_ranks, m, n, k, rep, stationary, part_a, part_b, part_c = case
+        runtime = Runtime(machine=uniform_system(num_ranks))
+        a = DistributedMatrix.create(runtime, (m, k), part_a, replication=rep[0],
+                                     name="A", materialize=False)
+        b = DistributedMatrix.create(runtime, (k, n), part_b, replication=rep[1],
+                                     name="B", materialize=False)
+        c = DistributedMatrix.create(runtime, (m, n), part_c, replication=rep[2],
+                                     name="C", materialize=False)
+        ops = generate_all_ops(a, b, c, stationary)
+        total = sum(op.flops for rank_ops in ops.values() for op in rank_ops)
+        assert total == 2 * m * n * k

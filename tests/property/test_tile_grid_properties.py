@@ -1,0 +1,91 @@
+"""Property-based tests of tile grids and replication (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.replication import ReplicationSpec
+from repro.dist.tile_grid import TileGrid
+from repro.util.indexing import Interval, Rect
+
+
+@st.composite
+def splits(draw, max_extent=400, max_cuts=8):
+    """A strictly increasing split list starting at 0."""
+    extent = draw(st.integers(min_value=1, max_value=max_extent))
+    if extent == 1:
+        return [0, 1]
+    num_cuts = draw(st.integers(min_value=0, max_value=min(max_cuts, extent - 1)))
+    interior = draw(st.lists(st.integers(min_value=1, max_value=extent - 1),
+                             min_size=num_cuts, max_size=num_cuts, unique=True))
+    return [0] + sorted(interior) + [extent]
+
+
+@st.composite
+def grids(draw):
+    return TileGrid(draw(splits()), draw(splits()))
+
+
+@st.composite
+def rect_within(draw, shape):
+    rows, cols = shape
+    r0 = draw(st.integers(min_value=0, max_value=rows))
+    r1 = draw(st.integers(min_value=r0, max_value=rows))
+    c0 = draw(st.integers(min_value=0, max_value=cols))
+    c1 = draw(st.integers(min_value=c0, max_value=cols))
+    return Rect(Interval(r0, r1), Interval(c0, c1))
+
+
+class TestTileGridProperties:
+    @given(grids())
+    @settings(max_examples=100)
+    def test_tiles_partition_the_matrix(self, grid):
+        total = sum(grid.tile_bounds(idx).size for idx in grid.tiles())
+        rows, cols = grid.matrix_shape
+        assert total == rows * cols
+
+    @given(grids().flatmap(lambda g: st.tuples(st.just(g), rect_within(g.matrix_shape))))
+    @settings(max_examples=150)
+    def test_overlapping_tiles_matches_bruteforce(self, grid_and_rect):
+        grid, rect = grid_and_rect
+        fast = set(grid.overlapping_tiles(rect))
+        brute = {idx for idx in grid.tiles() if grid.tile_bounds(idx).overlaps(rect)}
+        assert fast == brute
+
+    @given(grids().flatmap(lambda g: st.tuples(st.just(g), rect_within(g.matrix_shape))))
+    @settings(max_examples=100)
+    def test_overlap_area_covers_query(self, grid_and_rect):
+        """The union of (tile ∩ query) areas equals the query area."""
+        grid, rect = grid_and_rect
+        covered = sum(
+            grid.tile_bounds(idx).intersect(rect).size
+            for idx in grid.overlapping_tiles(rect)
+        )
+        assert covered == rect.size
+
+
+class TestReplicationProperties:
+    @given(st.integers(min_value=1, max_value=64).flatmap(
+        lambda p: st.tuples(st.just(p), st.sampled_from(
+            [c for c in range(1, p + 1) if p % c == 0]))))
+    def test_rank_mapping_is_a_bijection(self, p_and_c):
+        p, c = p_and_c
+        spec = ReplicationSpec(p, c)
+        seen = set()
+        for replica in range(c):
+            for position in range(spec.ranks_per_replica):
+                seen.add(spec.rank_of(replica, position))
+        assert seen == set(range(p))
+
+    @given(st.integers(min_value=1, max_value=64).flatmap(
+        lambda p: st.tuples(st.just(p), st.sampled_from(
+            [c for c in range(1, p + 1) if p % c == 0]),
+            st.integers(min_value=0, max_value=10000))))
+    def test_work_shares_tile_the_extent(self, args):
+        p, c, extent = args
+        spec = ReplicationSpec(p, c)
+        cursor = 0
+        for replica in range(c):
+            start, stop = spec.work_share(replica, extent)
+            assert start == cursor
+            cursor = stop
+        assert cursor == extent

@@ -1,0 +1,92 @@
+"""Unit tests for the SPMD execution backends."""
+
+import threading
+
+import pytest
+
+from repro.runtime.backend import (
+    Backend,
+    SequentialBackend,
+    ThreadedBackend,
+    make_backend,
+)
+
+
+class TestSequentialBackend:
+    def test_runs_in_rank_order(self):
+        backend = SequentialBackend()
+        order = []
+        results = backend.run([lambda i=i: order.append(i) or i for i in range(4)])
+        assert order == [0, 1, 2, 3]
+        assert results == [0, 1, 2, 3]
+
+    def test_barrier_is_noop(self):
+        backend = SequentialBackend()
+        barrier = backend.make_barrier(4)
+        barrier()  # must not block
+
+    def test_exception_propagates(self):
+        backend = SequentialBackend()
+
+        def boom():
+            raise ValueError("bad")
+
+        with pytest.raises(ValueError):
+            backend.run([boom])
+
+
+class TestThreadedBackend:
+    def test_collects_results(self):
+        backend = ThreadedBackend()
+        results = backend.run([lambda i=i: i * i for i in range(5)])
+        assert results == [0, 1, 4, 9, 16]
+
+    def test_runs_concurrently_through_barrier(self):
+        backend = ThreadedBackend()
+        barrier = backend.make_barrier(3)
+        hits = []
+        lock = threading.Lock()
+
+        def worker(i):
+            barrier.__call__() if callable(barrier) else None
+            with lock:
+                hits.append(i)
+            return i
+
+        results = backend.run([lambda i=i: worker(i) for i in range(3)])
+        assert sorted(results) == [0, 1, 2]
+        assert sorted(hits) == [0, 1, 2]
+
+    def test_failure_identifies_rank(self):
+        backend = ThreadedBackend()
+
+        def good():
+            return 1
+
+        def bad():
+            raise RuntimeError("inner failure")
+
+        with pytest.raises(RuntimeError, match="rank 1 failed"):
+            backend.run([good, bad])
+
+    def test_name(self):
+        assert ThreadedBackend().name == "threaded"
+
+
+class TestMakeBackend:
+    def test_sequential(self):
+        assert isinstance(make_backend("sequential"), SequentialBackend)
+
+    def test_threaded(self):
+        assert isinstance(make_backend("threaded"), ThreadedBackend)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_backend("Sequential"), SequentialBackend)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_backend("mpi")
+
+    def test_backend_is_abstract(self):
+        with pytest.raises(TypeError):
+            Backend()  # type: ignore[abstract]

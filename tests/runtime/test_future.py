@@ -1,0 +1,69 @@
+"""Unit tests for futures returned by asynchronous one-sided operations."""
+
+import pytest
+
+from repro.runtime.future import CompletedFuture, Future
+
+
+class TestFuture:
+    def test_starts_pending(self):
+        future = Future("f")
+        assert not future.done()
+
+    def test_set_result_and_wait(self):
+        future = Future()
+        future.set_result(42)
+        assert future.done()
+        assert future.wait() == 42
+
+    def test_result_alias(self):
+        future = Future()
+        future.set_result("x")
+        assert future.result() == "x"
+
+    def test_double_completion_rejected(self):
+        future = Future()
+        future.set_result(1)
+        with pytest.raises(RuntimeError):
+            future.set_result(2)
+
+    def test_exception_propagates(self):
+        future = Future()
+        future.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            future.wait()
+
+    def test_timeout(self):
+        future = Future("slow")
+        with pytest.raises(TimeoutError):
+            future.wait(timeout=0.01)
+
+    def test_callback_after_completion(self):
+        future = Future()
+        seen = []
+        future.set_result(3)
+        future.add_done_callback(lambda f: seen.append(f.wait()))
+        assert seen == [3]
+
+    def test_callback_before_completion(self):
+        future = Future()
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.wait()))
+        assert seen == []
+        future.set_result(9)
+        assert seen == [9]
+
+    def test_metadata_fields_default(self):
+        future = Future()
+        assert future.sim_ready_time == 0.0
+        assert future.nbytes == 0
+
+
+class TestCompletedFuture:
+    def test_is_done_immediately(self):
+        future = CompletedFuture([1, 2, 3])
+        assert future.done()
+        assert future.wait() == [1, 2, 3]
+
+    def test_description(self):
+        assert CompletedFuture(None, description="local").description == "local"

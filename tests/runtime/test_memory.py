@@ -1,0 +1,132 @@
+"""Unit tests for the symmetric heap and the memory pool."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.memory import MemoryPool, SymmetricHeap, make_handle
+
+
+class TestSymmetricHandle:
+    def test_nbytes(self):
+        handle = make_handle((4, 8), np.float32)
+        assert handle.nbytes == 4 * 8 * 4
+
+    def test_unique_ids(self):
+        a = make_handle((2, 2), np.float32)
+        b = make_handle((2, 2), np.float32)
+        assert a.alloc_id != b.alloc_id
+
+    def test_dtype_normalised(self):
+        handle = make_handle((2, 2), "float64")
+        assert handle.dtype == np.dtype(np.float64)
+
+
+class TestSymmetricHeap:
+    def test_register_and_fetch(self):
+        heap = SymmetricHeap(rank=0)
+        handle = make_handle((3, 3), np.float32)
+        array = np.zeros((3, 3), dtype=np.float32)
+        heap.register(handle, array)
+        assert heap.array(handle) is array
+        assert handle in heap
+        assert len(heap) == 1
+
+    def test_register_shape_mismatch(self):
+        heap = SymmetricHeap(rank=0)
+        handle = make_handle((3, 3), np.float32)
+        with pytest.raises(ValueError):
+            heap.register(handle, np.zeros((2, 2), dtype=np.float32))
+
+    def test_double_register_rejected(self):
+        heap = SymmetricHeap(rank=0)
+        handle = make_handle((2, 2), np.float32)
+        heap.register(handle, np.zeros((2, 2), dtype=np.float32))
+        with pytest.raises(ValueError):
+            heap.register(handle, np.zeros((2, 2), dtype=np.float32))
+
+    def test_missing_allocation(self):
+        heap = SymmetricHeap(rank=1)
+        handle = make_handle((2, 2), np.float32)
+        with pytest.raises(KeyError):
+            heap.array(handle)
+
+    def test_deregister(self):
+        heap = SymmetricHeap(rank=0)
+        handle = make_handle((2, 2), np.float32)
+        heap.register(handle, np.zeros((2, 2), dtype=np.float32))
+        heap.deregister(handle)
+        assert handle not in heap
+
+    def test_allocated_bytes(self):
+        heap = SymmetricHeap(rank=0)
+        handle = make_handle((4, 4), np.float64)
+        heap.register(handle, np.zeros((4, 4), dtype=np.float64))
+        assert heap.allocated_bytes == 4 * 4 * 8
+
+    def test_lock_exists_per_allocation(self):
+        heap = SymmetricHeap(rank=0)
+        handle = make_handle((2, 2), np.float32)
+        heap.register(handle, np.zeros((2, 2), dtype=np.float32))
+        lock = heap.lock(handle)
+        with lock:
+            pass  # acquirable
+
+
+class TestMemoryPool:
+    def test_acquire_returns_correct_shape_and_dtype(self):
+        pool = MemoryPool()
+        buffer = pool.acquire((5, 7), np.float32)
+        assert buffer.shape == (5, 7)
+        assert buffer.dtype == np.float32
+
+    def test_release_then_acquire_reuses(self):
+        pool = MemoryPool()
+        first = pool.acquire((4, 4))
+        pool.release(first)
+        second = pool.acquire((4, 4))
+        assert second is first
+        assert pool.stats.reuses == 1
+
+    def test_different_shapes_do_not_alias(self):
+        pool = MemoryPool()
+        a = pool.acquire((2, 2))
+        pool.release(a)
+        b = pool.acquire((3, 3))
+        assert b is not a
+
+    def test_zero_on_acquire(self):
+        pool = MemoryPool(zero_on_acquire=True)
+        buffer = pool.acquire((2, 2))
+        buffer.fill(5.0)
+        pool.release(buffer)
+        again = pool.acquire((2, 2))
+        assert np.all(again == 0.0)
+
+    def test_max_buffers_per_key_respected(self):
+        pool = MemoryPool(max_buffers_per_key=1)
+        a = pool.acquire((2, 2))
+        b = pool.acquire((2, 2))
+        pool.release(a)
+        pool.release(b)
+        assert pool.retained_bytes == a.nbytes  # only one retained
+
+    def test_stats_track_outstanding(self):
+        pool = MemoryPool()
+        a = pool.acquire((2, 2))
+        b = pool.acquire((2, 2))
+        assert pool.stats.outstanding == 2
+        assert pool.stats.peak_outstanding == 2
+        pool.release(a)
+        pool.release(b)
+        assert pool.stats.outstanding == 0
+
+    def test_clear_drops_buffers(self):
+        pool = MemoryPool()
+        pool.release(pool.acquire((8, 8)))
+        assert pool.retained_bytes > 0
+        pool.clear()
+        assert pool.retained_bytes == 0
+
+    def test_negative_max_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(max_buffers_per_key=-1)

@@ -1,0 +1,101 @@
+"""Unit tests for the machine presets (paper Table 2)."""
+
+import pytest
+
+from repro.topology.machines import (
+    GB,
+    TFLOP,
+    get_system,
+    h100_system,
+    hierarchical_system,
+    pvc_system,
+    uniform_system,
+)
+
+
+class TestTable2Values:
+    """The presets must match the constants the paper reports in Table 2."""
+
+    def test_pvc_device_count(self):
+        assert pvc_system().num_devices == 12
+
+    def test_pvc_link_bandwidth(self):
+        machine = pvc_system()
+        # Tiles on different GPUs talk over Xe Link at 26.5 GB/s.
+        assert machine.topology.bandwidth(0, 2) == pytest.approx(26.5 * GB)
+
+    def test_pvc_fp32_peak(self):
+        assert pvc_system().flops_peak == pytest.approx(22.7 * TFLOP)
+
+    def test_h100_device_count(self):
+        assert h100_system().num_devices == 8
+
+    def test_h100_link_bandwidth(self):
+        assert h100_system().topology.bandwidth(0, 1) == pytest.approx(450.0 * GB)
+
+    def test_h100_fp32_peak(self):
+        assert h100_system().flops_peak == pytest.approx(67.0 * TFLOP)
+
+    def test_pvc_memory_capacity(self):
+        assert pvc_system().memory_capacity == pytest.approx(64 * GB)
+
+    def test_h100_memory_capacity(self):
+        assert h100_system().memory_capacity == pytest.approx(80 * GB)
+
+
+class TestPvcTopologyTiers:
+    def test_same_gpu_tiles_use_fast_fabric(self):
+        machine = pvc_system()
+        assert machine.topology.bandwidth(0, 1) == pytest.approx(230.0 * GB)
+        assert machine.topology.bandwidth(4, 5) == pytest.approx(230.0 * GB)
+
+    def test_cross_gpu_tiles_use_xe_link(self):
+        machine = pvc_system()
+        assert machine.topology.bandwidth(1, 2) == pytest.approx(26.5 * GB)
+
+    def test_h100_single_tier(self):
+        machine = h100_system()
+        assert machine.topology.bandwidth(0, 1) == machine.topology.bandwidth(3, 7)
+
+
+class TestAccumulateAndEfficiency:
+    def test_pvc_accumulate_efficiency_is_80_percent(self):
+        assert pvc_system().accumulate_efficiency == pytest.approx(0.8)
+
+    def test_h100_has_accumulate_compute_interference(self):
+        assert h100_system().accumulate_compute_interference > 0.0
+        assert pvc_system().accumulate_compute_interference == 0.0
+
+    def test_total_peak(self):
+        machine = pvc_system()
+        assert machine.total_peak() == pytest.approx(12 * 22.7 * TFLOP)
+
+
+class TestFactories:
+    def test_get_system_by_name(self):
+        assert get_system("pvc").name == "pvc"
+        assert get_system("H100").name == "h100"
+
+    def test_get_system_unknown(self):
+        with pytest.raises(KeyError):
+            get_system("tpu")
+
+    def test_get_system_with_device_override(self):
+        assert get_system("pvc", num_devices=6).num_devices == 6
+
+    def test_with_devices_rescales(self):
+        machine = h100_system().with_devices(4)
+        assert machine.num_devices == 4
+        assert machine.topology.num_devices == 4
+
+    def test_uniform_system(self):
+        machine = uniform_system(5, flops_peak=10 * TFLOP)
+        assert machine.num_devices == 5
+        assert machine.flops_peak == 10 * TFLOP
+
+    def test_hierarchical_system_tiers(self):
+        machine = hierarchical_system(2, 4, intra_node_bandwidth=200 * GB,
+                                      inter_node_bandwidth=25 * GB)
+        assert machine.num_devices == 8
+        assert machine.topology.bandwidth(0, 3) == pytest.approx(200 * GB)
+        assert machine.topology.bandwidth(0, 4) == pytest.approx(25 * GB)

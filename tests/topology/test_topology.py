@@ -1,0 +1,75 @@
+"""Unit tests for links and topologies."""
+
+import pytest
+
+from repro.topology.links import Link, LinkKind
+from repro.topology.topology import Topology
+
+
+class TestLink:
+    def test_transfer_time_includes_latency(self):
+        link = Link(bandwidth=1.0e9, latency=1.0e-6, kind=LinkKind.INTRA_NODE)
+        assert link.transfer_time(1.0e9) == pytest.approx(1.0 + 1.0e-6)
+
+    def test_zero_bytes_is_free(self):
+        link = Link(bandwidth=1.0e9, latency=1.0e-6, kind=LinkKind.INTRA_NODE)
+        assert link.transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        link = Link(bandwidth=1.0e9, latency=0.0, kind=LinkKind.SELF)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth=0.0, latency=0.0, kind=LinkKind.SELF)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth=1.0, latency=-1.0, kind=LinkKind.SELF)
+
+
+class TestTopology:
+    def test_uniform_all_pairs_equal(self):
+        topo = Topology.uniform(4, link_bandwidth=10.0e9)
+        assert topo.bandwidth(0, 1) == topo.bandwidth(2, 3) == 10.0e9
+
+    def test_self_link_differs(self):
+        topo = Topology.uniform(4, link_bandwidth=10.0e9, self_bandwidth=1.0e12)
+        assert topo.bandwidth(1, 1) == 1.0e12
+        assert topo.is_local(1, 1)
+
+    def test_overrides(self):
+        fast = Link(100.0e9, 1.0e-6, LinkKind.INTRA_DEVICE)
+        slow = Link(10.0e9, 1.0e-6, LinkKind.INTRA_NODE)
+        topo = Topology(4, slow, Link(1e12, 0.0, LinkKind.SELF), {(0, 1): fast})
+        assert topo.bandwidth(0, 1) == 100.0e9
+        assert topo.bandwidth(1, 0) == 10.0e9  # directed override only
+
+    def test_transfer_time_scales_with_bytes(self):
+        topo = Topology.uniform(2, link_bandwidth=1.0e9, link_latency=0.0)
+        assert topo.transfer_time(0, 1, 2_000_000_000) == pytest.approx(2.0)
+
+    def test_device_range_check(self):
+        topo = Topology.uniform(2, link_bandwidth=1.0e9)
+        with pytest.raises(ValueError):
+            topo.link(0, 5)
+
+    def test_min_max_remote_bandwidth(self):
+        fast = Link(100.0e9, 1.0e-6, LinkKind.INTRA_DEVICE)
+        slow = Link(10.0e9, 1.0e-6, LinkKind.INTRA_NODE)
+        topo = Topology(4, slow, Link(1e12, 0.0, LinkKind.SELF), {(0, 1): fast})
+        assert topo.min_remote_bandwidth() == 10.0e9
+        assert topo.max_remote_bandwidth() == 100.0e9
+
+    def test_single_device_bandwidths(self):
+        topo = Topology.uniform(1, link_bandwidth=10.0e9, self_bandwidth=5.0e11)
+        assert topo.min_remote_bandwidth() == 5.0e11
+
+    def test_from_function(self):
+        def link_fn(src, dst):
+            return Link((src + dst + 1) * 1.0e9, 1.0e-6, LinkKind.INTRA_NODE)
+
+        topo = Topology.from_function(3, link_fn)
+        assert topo.bandwidth(0, 1) == 2.0e9
+        assert topo.bandwidth(1, 2) == 4.0e9

@@ -1,0 +1,241 @@
+"""Unit tests for the slicing/index-arithmetic primitives."""
+
+import pytest
+
+from repro.util.indexing import (
+    Interval,
+    Rect,
+    block_bounds,
+    block_index_range,
+    ceil_div,
+    intersect_intervals,
+    intersect_rects,
+    split_extent,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 5) == 1
+
+    def test_negative_numerator_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 4)
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestInterval:
+    def test_extent(self):
+        assert Interval(3, 10).extent == 7
+
+    def test_len(self):
+        assert len(Interval(0, 5)) == 5
+
+    def test_empty_is_falsy(self):
+        assert not Interval(4, 4)
+
+    def test_non_empty_is_truthy(self):
+        assert Interval(4, 5)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_contains_index(self):
+        interval = Interval(2, 6)
+        assert 2 in interval
+        assert 5 in interval
+        assert 6 not in interval
+        assert 1 not in interval
+
+    def test_iteration(self):
+        assert list(Interval(3, 6)) == [3, 4, 5]
+
+    def test_shift(self):
+        assert Interval(2, 5).shift(10) == Interval(12, 15)
+
+    def test_shift_negative(self):
+        assert Interval(12, 15).shift(-12) == Interval(0, 3)
+
+    def test_intersect_overlapping(self):
+        assert Interval(0, 10).intersect(Interval(5, 15)) == Interval(5, 10)
+
+    def test_intersect_disjoint_is_empty(self):
+        result = Interval(0, 5).intersect(Interval(10, 20))
+        assert result.extent == 0
+
+    def test_intersect_nested(self):
+        assert Interval(0, 100).intersect(Interval(40, 60)) == Interval(40, 60)
+
+    def test_intersect_commutative(self):
+        a, b = Interval(3, 9), Interval(5, 20)
+        assert a.intersect(b) == b.intersect(a)
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 10))
+        assert not Interval(0, 5).overlaps(Interval(5, 10))
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 8))
+        assert not Interval(0, 10).contains_interval(Interval(2, 12))
+
+    def test_contains_empty_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(20, 20))
+
+    def test_localize(self):
+        assert Interval(10, 20).localize(10) == Interval(0, 10)
+
+    def test_as_slice(self):
+        assert Interval(2, 7).as_slice() == slice(2, 7)
+
+    def test_split_even(self):
+        parts = Interval(0, 12).split(3)
+        assert parts == (Interval(0, 4), Interval(4, 8), Interval(8, 12))
+
+    def test_split_uneven_front_loaded(self):
+        parts = Interval(0, 10).split(3)
+        assert [p.extent for p in parts] == [4, 3, 3]
+        assert parts[0].start == 0 and parts[-1].stop == 10
+
+    def test_functional_intersect(self):
+        assert intersect_intervals(Interval(0, 5), Interval(3, 9)) == Interval(3, 5)
+
+
+class TestRect:
+    def test_from_bounds(self):
+        rect = Rect.from_bounds(1, 4, 2, 8)
+        assert rect.rows == Interval(1, 4)
+        assert rect.cols == Interval(2, 8)
+
+    def test_full(self):
+        assert Rect.full((6, 9)) == Rect.from_bounds(0, 6, 0, 9)
+
+    def test_shape_and_size(self):
+        rect = Rect.from_bounds(0, 3, 0, 5)
+        assert rect.shape == (3, 5)
+        assert rect.size == 15
+
+    def test_empty_rect_is_falsy(self):
+        assert not Rect.from_bounds(0, 0, 0, 5)
+
+    def test_intersect(self):
+        a = Rect.from_bounds(0, 10, 0, 10)
+        b = Rect.from_bounds(5, 15, 8, 20)
+        assert a.intersect(b) == Rect.from_bounds(5, 10, 8, 10)
+
+    def test_overlaps_requires_both_axes(self):
+        a = Rect.from_bounds(0, 5, 0, 5)
+        assert not a.overlaps(Rect.from_bounds(0, 5, 5, 10))
+        assert a.overlaps(Rect.from_bounds(4, 6, 4, 6))
+
+    def test_contains(self):
+        outer = Rect.from_bounds(0, 10, 0, 10)
+        assert outer.contains(Rect.from_bounds(2, 8, 3, 7))
+        assert not outer.contains(Rect.from_bounds(2, 12, 3, 7))
+
+    def test_shift(self):
+        assert Rect.from_bounds(0, 2, 0, 3).shift(5, 7) == Rect.from_bounds(5, 7, 7, 10)
+
+    def test_localize(self):
+        tile = Rect.from_bounds(10, 20, 30, 50)
+        region = Rect.from_bounds(12, 18, 35, 45)
+        local = region.localize(tile)
+        assert local == Rect.from_bounds(2, 8, 5, 15)
+
+    def test_as_slices(self):
+        assert Rect.from_bounds(1, 4, 2, 6).as_slices() == (slice(1, 4), slice(2, 6))
+
+    def test_transpose(self):
+        assert Rect.from_bounds(1, 4, 2, 6).transpose() == Rect.from_bounds(2, 6, 1, 4)
+
+    def test_functional_intersect(self):
+        a = Rect.from_bounds(0, 4, 0, 4)
+        b = Rect.from_bounds(2, 6, 2, 6)
+        assert intersect_rects(a, b) == Rect.from_bounds(2, 4, 2, 4)
+
+
+class TestSplitExtent:
+    def test_even_split(self):
+        assert split_extent(12, 4) == (3, 3, 3, 3)
+
+    def test_remainder_goes_to_front(self):
+        assert split_extent(10, 4) == (3, 3, 2, 2)
+
+    def test_more_parts_than_extent(self):
+        assert split_extent(2, 4) == (1, 1, 0, 0)
+
+    def test_single_part(self):
+        assert split_extent(7, 1) == (7,)
+
+    def test_total_preserved(self):
+        for extent in (1, 7, 13, 100):
+            for parts in (1, 2, 3, 5, 8):
+                assert sum(split_extent(extent, parts)) == extent
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            split_extent(10, 0)
+
+    def test_negative_extent(self):
+        with pytest.raises(ValueError):
+            split_extent(-1, 2)
+
+
+class TestBlockBounds:
+    def test_matches_split_extent(self):
+        extent, parts = 11, 4
+        sizes = split_extent(extent, parts)
+        cursor = 0
+        for index, size in enumerate(sizes):
+            bounds = block_bounds(extent, parts, index)
+            assert bounds == Interval(cursor, cursor + size)
+            cursor += size
+
+    def test_covers_whole_extent(self):
+        extent, parts = 23, 5
+        assert block_bounds(extent, parts, 0).start == 0
+        assert block_bounds(extent, parts, parts - 1).stop == extent
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            block_bounds(10, 3, 3)
+
+    def test_blocks_are_contiguous(self):
+        extent, parts = 17, 6
+        for index in range(parts - 1):
+            assert block_bounds(extent, parts, index).stop == \
+                block_bounds(extent, parts, index + 1).start
+
+
+class TestBlockIndexRange:
+    def test_full_query_covers_all_blocks(self):
+        assert block_index_range(20, 4, Interval(0, 20)) == (0, 4)
+
+    def test_single_block_query(self):
+        assert block_index_range(20, 4, Interval(0, 5)) == (0, 1)
+
+    def test_query_spanning_boundary(self):
+        assert block_index_range(20, 4, Interval(4, 6)) == (0, 2)
+
+    def test_empty_query(self):
+        assert block_index_range(20, 4, Interval(5, 5)) == (0, 0)
+
+    def test_query_outside_extent_clipped(self):
+        assert block_index_range(20, 4, Interval(25, 30)) == (0, 0)
+
+    def test_uneven_blocks(self):
+        # 10 elements in 4 blocks: sizes 3,3,2,2 -> boundaries 0,3,6,8,10.
+        assert block_index_range(10, 4, Interval(6, 8)) == (2, 3)
+        assert block_index_range(10, 4, Interval(5, 9)) == (1, 4)

@@ -1,0 +1,66 @@
+"""Unit tests for the RNG helpers and the logging facade."""
+
+import logging
+
+import numpy as np
+
+from repro.util.logging import enable_console_logging, get_logger
+from repro.util.rng import make_rng, random_matrix
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).random(5)
+        b = make_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).random(3)
+        b = make_rng(None).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(3)
+        assert make_rng(gen) is gen
+
+
+class TestRandomMatrix:
+    def test_shape_and_dtype(self):
+        mat = random_matrix((4, 6), dtype=np.float32, seed=0)
+        assert mat.shape == (4, 6)
+        assert mat.dtype == np.float32
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(random_matrix((3, 3), seed=5),
+                                      random_matrix((3, 3), seed=5))
+
+    def test_scale_bounds(self):
+        mat = random_matrix((100, 100), seed=1, scale=0.5)
+        assert np.all(mat >= -0.5) and np.all(mat < 0.5)
+
+    def test_float64(self):
+        assert random_matrix((2, 2), dtype=np.float64).dtype == np.float64
+
+
+class TestLogging:
+    def test_logger_is_namespaced(self):
+        assert get_logger("core.direct").name == "repro.core.direct"
+
+    def test_root_logger(self):
+        assert get_logger().name == "repro"
+
+    def test_already_namespaced_name_not_doubled(self):
+        assert get_logger("repro.dist").name == "repro.dist"
+
+    def test_enable_console_logging_idempotent(self):
+        enable_console_logging(logging.WARNING)
+        enable_console_logging(logging.WARNING)
+        root = logging.getLogger("repro")
+        stream_handlers = [h for h in root.handlers if isinstance(h, logging.StreamHandler)
+                           and not isinstance(h, logging.NullHandler)]
+        assert len(stream_handlers) == 1
