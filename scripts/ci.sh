@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entrypoint: tier-1 test suite + example smoke runs.
+#
+# Usage: ./scripts/ci.sh [extra pytest args]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q "$@"
+
+echo "== example smoke: quickstart =="
+python examples/quickstart.py
+
+echo "== example smoke: partition sweep (small batch) =="
+python examples/partition_sweep.py 512
+
+echo "CI passed."

@@ -1,10 +1,12 @@
 """Setup shim.
 
-The project is configured in ``pyproject.toml``; this file exists so that the
-package can be installed in editable mode on machines where the ``wheel``
-package (needed for PEP 660 editable wheels) is unavailable:
+The project is configured in ``pyproject.toml`` (``package_dir={"": "src"}``
+via ``[tool.setuptools]``); ``pip install -e .`` is the normal install path.
+This file exists so that the package can still be installed in editable mode
+on offline machines where the ``wheel`` package (needed to build PEP 660
+editable wheels) is unavailable:
 
-    pip install -e . --no-build-isolation --no-use-pep517
+    python setup.py develop
 """
 
 from setuptools import setup

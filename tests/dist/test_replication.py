@@ -1,0 +1,73 @@
+"""Direct unit tests for replica-group bookkeeping and work-share math."""
+
+import pytest
+
+from repro.dist.replication import ReplicationSpec
+from repro.util.validation import ReplicationError
+
+
+class TestGroupStructure:
+    def test_blocked_groups(self):
+        spec = ReplicationSpec(12, 3)
+        assert spec.num_replicas == 3
+        assert spec.ranks_per_replica == 4
+        assert list(spec.replica_ranks(0)) == [0, 1, 2, 3]
+        assert list(spec.replica_ranks(2)) == [8, 9, 10, 11]
+
+    def test_rank_of_and_inverse(self):
+        spec = ReplicationSpec(12, 3)
+        for replica in range(3):
+            for position in range(4):
+                rank = spec.rank_of(replica, position)
+                assert spec.replica_of_rank(rank) == replica
+                assert spec.position_of_rank(rank) == position
+
+    def test_no_replication_is_identity(self):
+        spec = ReplicationSpec(6, 1)
+        for rank in range(6):
+            assert spec.replica_of_rank(rank) == 0
+            assert spec.position_of_rank(rank) == rank
+
+    def test_full_replication_one_rank_per_replica(self):
+        spec = ReplicationSpec(4, 4)
+        assert spec.ranks_per_replica == 1
+        for rank in range(4):
+            assert spec.replica_of_rank(rank) == rank
+            assert spec.position_of_rank(rank) == 0
+
+    @pytest.mark.parametrize("num_ranks,factor", [(4, 3), (6, 4), (4, 8), (4, 0)])
+    def test_invalid_factors_rejected(self, num_ranks, factor):
+        with pytest.raises((ReplicationError, ValueError)):
+            ReplicationSpec(num_ranks, factor)
+
+
+class TestWorkShares:
+    def test_shares_tile_the_extent_contiguously(self):
+        spec = ReplicationSpec(6, 3)
+        cursor = 0
+        for replica in range(3):
+            start, stop = spec.work_share(replica, 100)
+            assert start == cursor
+            cursor = stop
+        assert cursor == 100
+
+    def test_remainder_front_loaded(self):
+        spec = ReplicationSpec(4, 4)
+        shares = [spec.work_share(r, 10) for r in range(4)]
+        assert shares == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_single_replica_gets_everything(self):
+        spec = ReplicationSpec(8, 1)
+        assert spec.work_share(0, 37) == (0, 37)
+
+    def test_zero_extent(self):
+        spec = ReplicationSpec(4, 2)
+        assert spec.work_share(0, 0) == (0, 0)
+        assert spec.work_share(1, 0) == (0, 0)
+
+    def test_more_replicas_than_extent(self):
+        spec = ReplicationSpec(8, 8)
+        shares = [spec.work_share(r, 3) for r in range(8)]
+        # The first three replicas get one element each; the rest are empty.
+        assert shares[:3] == [(0, 1), (1, 2), (2, 3)]
+        assert all(start == stop for start, stop in shares[3:])
