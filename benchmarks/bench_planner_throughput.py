@@ -1,0 +1,176 @@
+"""Planner serving throughput: cold (search) vs. warm (cache) planning.
+
+The ROADMAP's serving goal means the planner must answer near-identical
+requests at memory speed.  This benchmark measures three things:
+
+* **cold** planning latency — a cache-miss request that runs the pruned
+  design-space search end to end;
+* **warm** planning throughput — repeated requests answered from the LRU
+  plan cache (the acceptance bar is warm >= 10x faster than cold);
+* **pruning effectiveness** — how many candidate simulations the cost-bound
+  search skipped relative to the exhaustive sweep.
+
+Runs standalone (``python benchmarks/bench_planner_throughput.py [--fast]``)
+and under pytest; results are persisted to ``benchmarks/results/``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # script mode: mirror conftest's path setup
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (_ROOT, os.path.join(_ROOT, "src")):
+        if os.path.isdir(_path) and _path not in sys.path:
+            sys.path.insert(0, _path)
+
+from benchmarks.harness_common import RESULTS_DIR, write_result
+from repro.bench.workloads import attention_workload, mlp1_workload
+from repro.planner import PlannerService
+from repro.planner.search import search_partitionings
+from repro.topology.machines import pvc_system, uniform_system
+
+#: Warm requests per measured batch (enough to average out timer noise).
+WARM_REQUESTS = 200
+
+
+def measure_service(machine, workload, *, replication_factors=None, warm_requests=WARM_REQUESTS):
+    """Return a dict of cold/warm latency and pruning counters for one problem."""
+    service = PlannerService(machine, replication_factors=replication_factors)
+    with service:
+        started = time.perf_counter()
+        cold = service.plan(workload)
+        cold_seconds = time.perf_counter() - started
+        assert not cold.cache_hit
+
+        started = time.perf_counter()
+        for _ in range(warm_requests):
+            warm = service.plan(workload)
+            assert warm.cache_hit
+        warm_seconds = (time.perf_counter() - started) / warm_requests
+
+        stats = service.stats()
+        return {
+            "workload": workload.name,
+            "machine": machine.name,
+            "num_devices": machine.num_devices,
+            "cold_ms": cold_seconds * 1e3,
+            "warm_ms": warm_seconds * 1e3,
+            "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+            "warm_requests_per_s": 1.0 / warm_seconds if warm_seconds > 0 else float("inf"),
+            "candidates_simulated": stats.candidates_simulated,
+            "candidates_pruned": stats.candidates_pruned,
+        }
+
+
+def measure_pruning(machine, workload, *, replication_factors=None):
+    """Compare pruned vs. exhaustive search on one problem."""
+    _, exhaustive = search_partitionings(machine, workload, prune=False,
+                                         replication_factors=replication_factors)
+    _, pruned = search_partitionings(machine, workload, prune=True,
+                                     replication_factors=replication_factors)
+    return {
+        "workload": workload.name,
+        "exhaustive_simulated": exhaustive.num_simulated,
+        "pruned_simulated": pruned.num_simulated,
+        "pruned_skipped": pruned.num_pruned,
+        "simulation_reduction": (
+            exhaustive.num_simulated / pruned.num_simulated
+            if pruned.num_simulated else float("inf")
+        ),
+    }
+
+
+def run(fast: bool = False):
+    """Run the full measurement matrix; returns (rows, pruning_rows)."""
+    if fast:
+        scenarios = [(uniform_system(4), attention_workload(256), [1, 2])]
+    else:
+        scenarios = [
+            (uniform_system(8), attention_workload(1024), None),
+            (pvc_system(12), mlp1_workload(4096), [1, 2]),
+        ]
+    rows = [
+        measure_service(machine, workload, replication_factors=factors)
+        for machine, workload, factors in scenarios
+    ]
+    pruning_rows = [
+        measure_pruning(machine, workload, replication_factors=factors)
+        for machine, workload, factors in scenarios
+    ]
+    return rows, pruning_rows
+
+
+def render(rows, pruning_rows) -> str:
+    lines = ["planner serving throughput (cold search vs. warm cache)", ""]
+    for row in rows:
+        lines.append(
+            f"{row['workload']:<24} on {row['machine']}x{row['num_devices']}: "
+            f"cold {row['cold_ms']:.2f} ms, warm {row['warm_ms']:.4f} ms "
+            f"({row['speedup']:.0f}x, {row['warm_requests_per_s']:.0f} req/s)"
+        )
+    lines.append("")
+    lines.append("cost-bound pruning vs. exhaustive sweep")
+    for row in pruning_rows:
+        lines.append(
+            f"{row['workload']:<24} simulated {row['pruned_simulated']} of "
+            f"{row['exhaustive_simulated']} candidates "
+            f"({row['simulation_reduction']:.1f}x fewer)"
+        )
+    return "\n".join(lines)
+
+
+def _save_snapshot(rows, pruning_rows) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "planner_throughput.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"throughput": rows, "pruning": pruning_rows}, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry points
+# ---------------------------------------------------------------------- #
+def test_warm_cache_is_10x_faster_than_cold():
+    """Acceptance: a warm-cache plan() is >= 10x faster than the cold call."""
+    row = measure_service(uniform_system(4), attention_workload(256),
+                          replication_factors=[1, 2])
+    assert row["speedup"] >= 10.0, row
+
+
+def test_pruned_search_simulates_fewer_candidates():
+    row = measure_pruning(uniform_system(4), attention_workload(256),
+                          replication_factors=[1, 2])
+    assert row["pruned_simulated"] < row["exhaustive_simulated"], row
+
+
+def test_full_report(results_dir):
+    rows, pruning_rows = run(fast=True)
+    write_result("planner_throughput", render(rows, pruning_rows))
+    _save_snapshot(rows, pruning_rows)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="small scenario only (CI smoke mode)")
+    args = parser.parse_args()
+    rows, pruning_rows = run(fast=args.fast)
+    text = render(rows, pruning_rows)
+    print(text)
+    write_result("planner_throughput", text)
+    _save_snapshot(rows, pruning_rows)
+    slowest = min(rows, key=lambda row: row["speedup"])
+    if slowest["speedup"] < 10.0:
+        raise SystemExit(
+            f"warm/cold speedup {slowest['speedup']:.1f}x below the 10x bar"
+        )
+    print(f"\nOK: warm cache is >= 10x faster than cold planning "
+          f"(worst case {slowest['speedup']:.0f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,4 +17,11 @@ python examples/quickstart.py
 echo "== example smoke: partition sweep (small batch) =="
 python examples/partition_sweep.py 512
 
+echo "== example smoke: planner service =="
+python examples/planner_service.py --family attention --system uniform \
+  --devices 4 --sizes 256 --top-k 2
+
+echo "== benchmark smoke: planner throughput (fast mode) =="
+python benchmarks/bench_planner_throughput.py --fast
+
 echo "CI passed."

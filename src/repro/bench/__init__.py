@@ -13,9 +13,12 @@ from repro.bench.workloads import (
     MLP_RATIO,
     BATCH_SIZES,
     Workload,
+    attention_workload,
     mlp1_workload,
     mlp2_workload,
+    rectangular_series,
     square_workload,
+    tall_skinny_workload,
 )
 from repro.bench.schemes import (
     PartitioningScheme,
@@ -39,9 +42,12 @@ __all__ = [
     "MLP_RATIO",
     "BATCH_SIZES",
     "Workload",
+    "attention_workload",
     "mlp1_workload",
     "mlp2_workload",
+    "rectangular_series",
     "square_workload",
+    "tall_skinny_workload",
     "PartitioningScheme",
     "ua_schemes",
     "scheme_by_name",

@@ -12,17 +12,21 @@ driver already does.  This module packages that search as a small planner:
 * score each candidate with the simulate-only execution model, and
 * return a :class:`PartitioningRecommendation` that can be applied directly
   (it knows how to build the distributed matrices).
+
+The search itself now lives in :mod:`repro.planner.search`, which adds
+cost-bound pruning (provably the same answer, strictly fewer simulations);
+:func:`recommend_partitioning` is kept as the stable entry point and
+delegates there.  Callers who want memoization and serving statistics on top
+should use :class:`repro.planner.PlannerService` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.bench.schemes import PartitioningScheme, ua_schemes
-from repro.bench.sweep import run_ua_point, valid_replication_factors
+from repro.bench.schemes import PartitioningScheme
 from repro.bench.workloads import Workload
-from repro.core.config import ExecutionConfig
 from repro.dist.matrix import DistributedMatrix
 from repro.runtime.runtime import Runtime
 from repro.topology.machines import MachineSpec
@@ -68,18 +72,6 @@ class PartitioningRecommendation:
         return a, b, c
 
 
-def _memory_per_device(workload: Workload, replication: Tuple[int, int, int],
-                       num_devices: int, itemsize: int = 4) -> int:
-    """Worst-case bytes of A+B+C tile storage on one device."""
-    (am, ak), (bk, bn), (cm, cn) = workload.shapes
-    rep_a, rep_b, rep_c = replication
-    per_device = 0
-    for (rows, cols), factor in (((am, ak), rep_a), ((bk, bn), rep_b), ((cm, cn), rep_c)):
-        procs_per_replica = max(1, num_devices // factor)
-        per_device += -(-rows * cols // procs_per_replica) * itemsize
-    return per_device
-
-
 def recommend_partitioning(
     machine: MachineSpec,
     workload: Workload,
@@ -96,39 +88,22 @@ def recommend_partitioning(
     capacity; configurations that would not fit are skipped, which is how
     replication trades memory for communication exactly as in the 1.5D/2.5D
     literature the paper builds on.
-    """
-    if memory_budget_bytes is None:
-        memory_budget_bytes = machine.memory_capacity
-    schemes = list(schemes) if schemes is not None else ua_schemes()
-    factors = valid_replication_factors(machine.num_devices, replication_factors)
-    config = ExecutionConfig(simulate_only=True)
 
-    candidates: List[PartitioningRecommendation] = []
-    for scheme in schemes:
-        for factor in factors:
-            for c_factor in factors:
-                replication = (factor, factor, c_factor)
-                footprint = _memory_per_device(workload, replication,
-                                               machine.num_devices, itemsize)
-                if footprint > memory_budget_bytes:
-                    continue
-                for stationary in stationary_options:
-                    point = run_ua_point(machine, workload, scheme, replication,
-                                         stationary, config)
-                    candidates.append(
-                        PartitioningRecommendation(
-                            scheme=scheme,
-                            replication=replication,
-                            stationary=stationary,
-                            percent_of_peak=point.percent_of_peak,
-                            simulated_time=point.simulated_time,
-                            memory_per_device=footprint,
-                        )
-                    )
-    if not candidates:
-        raise ValueError(
-            "no partitioning fits the per-device memory budget "
-            f"({memory_budget_bytes / 1e9:.2f} GB)"
-        )
-    candidates.sort(key=lambda rec: rec.percent_of_peak, reverse=True)
-    return candidates[: max(1, top_k)]
+    Delegates to the pruned search in :mod:`repro.planner.search`, which
+    returns exactly the ranking the original exhaustive sweep produced.
+    """
+    # Imported lazily: repro.planner sits above repro.bench in the layer
+    # stack, so a module-level import here would be circular.
+    from repro.planner.search import search_partitionings
+
+    recommendations, _ = search_partitionings(
+        machine,
+        workload,
+        memory_budget_bytes=memory_budget_bytes,
+        schemes=schemes,
+        replication_factors=replication_factors,
+        stationary_options=stationary_options,
+        top_k=top_k,
+        itemsize=itemsize,
+    )
+    return recommendations

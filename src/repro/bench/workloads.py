@@ -13,7 +13,7 @@ Batch sizes swept: 1024, 2048, 4096, 8192.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.util.validation import check_positive_int
 
@@ -57,6 +57,20 @@ class Workload:
             k=max(1, int(self.k * factor)),
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (used by the planner's persistent store)."""
+        return {"name": self.name, "m": self.m, "n": self.n, "k": self.k}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Workload":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(payload["name"]),
+            m=int(payload["m"]),  # type: ignore[arg-type]
+            n=int(payload["n"]),  # type: ignore[arg-type]
+            k=int(payload["k"]),  # type: ignore[arg-type]
+        )
+
 
 def mlp1_workload(batch: int, hidden: int = MLP_HIDDEN, ratio: int = MLP_RATIO) -> Workload:
     """The first MLP multiply: expand the hidden dimension (m=batch, n=r*h, k=h)."""
@@ -71,6 +85,43 @@ def mlp2_workload(batch: int, hidden: int = MLP_HIDDEN, ratio: int = MLP_RATIO) 
 def square_workload(size: int) -> Workload:
     """A square problem, used by the classical-baseline comparison (E9)."""
     return Workload(name=f"square_{size}", m=size, n=size, k=size)
+
+
+def attention_workload(seq: int, head_dim: int = 128) -> Workload:
+    """The QK^T score matmul of one attention head: ``S[s,s] = Q[s,d] @ K^T[d,s]``.
+
+    Unlike the paper's MLP shapes this has a *tiny* inner dimension and a
+    large square output, which stresses the outer-product end of the design
+    space (C is by far the largest matrix and accumulation dominates).
+    """
+    return Workload(name=f"attn_s{seq}_d{head_dim}", m=seq, n=seq, k=head_dim)
+
+
+def tall_skinny_workload(rows: int, inner: int = 256, cols: int = 256) -> Workload:
+    """A tall-and-skinny problem: very tall A against a small square B.
+
+    Typical of embedding projections and least-squares panels; only the m
+    dimension offers parallelism, so row-style partitionings should win.
+    """
+    return Workload(name=f"tallskinny_{rows}x{inner}x{cols}", m=rows, n=cols, k=inner)
+
+
+def rectangular_series(base: int = 4096,
+                       aspects: Sequence[int] = (1, 2, 4, 8)) -> List[Workload]:
+    """Constant-flops problems of increasing rectangularity.
+
+    For aspect ``a`` the shape is ``m = base, n = base*a, k = base/a`` so every
+    member performs the same ``2*base**3`` flops while the best partitioning
+    family shifts as the problem elongates — a good planner stress series.
+    """
+    workloads = []
+    for aspect in aspects:
+        check_positive_int(aspect, "aspect")
+        workloads.append(
+            Workload(name=f"rect_{base}_a{aspect}", m=base, n=base * aspect,
+                     k=max(1, base // aspect))
+        )
+    return workloads
 
 
 def mlp1_series(batches: Tuple[int, ...] = BATCH_SIZES, hidden: int = MLP_HIDDEN,

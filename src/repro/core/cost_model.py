@@ -23,6 +23,7 @@ from repro.topology.machines import MachineSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.ops import LocalMatmulOp
+    from repro.dist.matrix import DistributedMatrix
 
 
 @dataclass(frozen=True)
@@ -175,6 +176,76 @@ class CostModel:
         if not per_rank_ops:
             return 0.0
         return max(self.estimate_op_list(ops) for ops in per_rank_ops.values())
+
+    # ------------------------------------------------------------------ #
+    # admissible lower bounds (planner pruning)
+    # ------------------------------------------------------------------ #
+    def direct_lower_bound(
+        self,
+        a: "DistributedMatrix",
+        b: "DistributedMatrix",
+        c: "DistributedMatrix",
+        per_rank_ops: Mapping[int, Sequence["LocalMatmulOp"]],
+        cache_remote_tiles: bool = True,
+    ) -> float:
+        """A lower bound on the direct executor's makespan for these op lists.
+
+        Unlike :meth:`estimate_op_lists` (a prediction that may over- or
+        undershoot), this is *admissible*: it never exceeds the simulated
+        makespan, so the planner can prune a candidate whose bound already
+        beats the incumbent without risking a wrong answer.  The argument is
+        engine occupancy: the direct executor reserves, per device,
+
+        * every GEMM and local accumulate on the compute engine,
+        * every remote-tile fetch on the reader's copy engine (deduplicated
+          when ``cache_remote_tiles`` is on, exactly as the executor does),
+        * every remote accumulate on the initiator's accumulate engine,
+        * the shared ingress (accumulate fan-in) and egress (fetch fan-out)
+          occupancies on the destination/source device,
+
+        and engine reservations never overlap, so each device finishes no
+        earlier than any single engine's summed occupancy.  The makespan is
+        the slowest device, hence the max-of-max below.
+        """
+        num_devices = self.machine.num_devices
+        compute = [0.0] * num_devices
+        copy = [0.0] * num_devices
+        accumulate = [0.0] * num_devices
+        ingress = [0.0] * num_devices
+        egress = [0.0] * num_devices
+        tile_bytes: Dict[tuple, int] = {}
+
+        def full_tile_bytes(label: str, matrix, tile_idx) -> int:
+            key = (label, tile_idx)
+            if key not in tile_bytes:
+                tile_bytes[key] = matrix.tile_bounds(tile_idx).size * matrix.dtype.itemsize
+            return tile_bytes[key]
+
+        for rank, ops in per_rank_ops.items():
+            fetched: set = set()
+            for op in ops:
+                compute[rank] += self.op_compute_time(op)
+                if op.c_is_remote:
+                    accumulate[rank] += self.accumulate_time(rank, op.c.owner, op.c_bytes)
+                    ingress[op.c.owner] += self.device_link_time(op.c_bytes, accumulate=True)
+                else:
+                    compute[rank] += self.local_accumulate_time(op.c_bytes)
+                for label, matrix, ref in (("A", a, op.a), ("B", b, op.b)):
+                    if ref.owner == rank:
+                        continue
+                    cache_key = (label, ref.replica, ref.index)
+                    if cache_remote_tiles and cache_key in fetched:
+                        continue
+                    fetched.add(cache_key)
+                    nbytes = full_tile_bytes(label, matrix, ref.index)
+                    copy[rank] += self.transfer_time(ref.owner, rank, nbytes)
+                    egress[ref.owner] += self.device_link_time(nbytes)
+
+        per_device = (
+            max(compute[d], copy[d], accumulate[d], ingress[d], egress[d])
+            for d in range(num_devices)
+        )
+        return max(per_device, default=0.0)
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -71,8 +71,12 @@ def _resolve_stationary(
     return parse_stationary(stationary)
 
 
-def _model_reduce_time(c: DistributedMatrix, cost_model: CostModel, origin: int = 0) -> float:
-    """Modelled time of ``reduce_replicas``: incoming accumulates serialise at each origin owner."""
+def model_reduce_time(c: DistributedMatrix, cost_model: CostModel, origin: int = 0) -> float:
+    """Modelled time of ``reduce_replicas``: incoming accumulates serialise at each origin owner.
+
+    Public because the planner's pruning bound needs the exact same replica
+    reduction term that :func:`universal_matmul` adds to its makespan.
+    """
     if c.replication.num_replicas == 1:
         return 0.0
     per_owner: Dict[int, float] = {}
@@ -152,7 +156,7 @@ def universal_matmul(
     if c.replication.num_replicas > 1:
         if not config.simulate_only:
             c.reduce_replicas(origin_idx=reduce_origin)
-        reduce_time = _model_reduce_time(c, cost_model, reduce_origin)
+        reduce_time = model_reduce_time(c, cost_model, reduce_origin)
 
     total_flops = 2 * m * n * k
     simulated_time = makespan + reduce_time

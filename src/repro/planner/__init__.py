@@ -1,0 +1,59 @@
+"""Planning subsystem: memoized, pruned partitioning selection as a service.
+
+The paper's conclusion leaves "how to select an optimal partitioning for a
+particular problem" open; the exhaustive selector answers it by brute force.
+This package is the production answer the ROADMAP's serving goal needs:
+
+* :mod:`repro.planner.signature` — canonical request identities (machine
+  fingerprint + geometric shape buckets) so near-identical requests share a
+  plan;
+* :mod:`repro.planner.cache` — a thread-safe LRU plan cache with counters
+  and a persistent JSON store for cross-process warm starts;
+* :mod:`repro.planner.search` — branch-and-bound over the design space using
+  admissible cost-model lower bounds, provably returning the exhaustive
+  selector's exact ranking while simulating fewer candidates;
+* :mod:`repro.planner.service` — :class:`PlannerService`, the serving
+  facade: ``plan()`` / ``plan_many()`` with a worker pool, single-flight
+  dedup of concurrent identical requests, and serving statistics.
+
+``repro.bench.selector.recommend_partitioning`` delegates here, so existing
+callers get the pruned search transparently.
+"""
+
+from repro.planner.cache import CacheStats, PlanCache, PlanEntry
+from repro.planner.search import (
+    Candidate,
+    SearchStats,
+    candidate_lower_bound,
+    enumerate_candidates,
+    memory_per_device,
+    search_partitionings,
+)
+from repro.planner.service import PlannerService, PlanResponse, ServiceStats
+from repro.planner.signature import (
+    DEFAULT_BUCKET_RATIO,
+    ProblemSignature,
+    bucket_dim,
+    machine_fingerprint,
+    options_fingerprint,
+)
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "PlanEntry",
+    "Candidate",
+    "SearchStats",
+    "candidate_lower_bound",
+    "enumerate_candidates",
+    "memory_per_device",
+    "search_partitionings",
+    "PlannerService",
+    "PlanResponse",
+    "ServiceStats",
+    "DEFAULT_BUCKET_RATIO",
+    "ProblemSignature",
+    "bucket_dim",
+    "machine_fingerprint",
+    "options_fingerprint",
+]

@@ -1,0 +1,229 @@
+"""Plan cache: thread-safe LRU memoization plus a persistent JSON store.
+
+The cache maps :meth:`ProblemSignature.key` strings to :class:`PlanEntry`
+values (the ranked recommendations computed by the search).  Serving traffic
+is read-heavy and highly repetitive, so the hot path is a single ordered-dict
+lookup under a lock; hit/miss/eviction counters make cache sizing observable.
+
+The JSON store gives warm starts across processes: a service can
+:meth:`~PlanCache.save` its cache on shutdown and :meth:`~PlanCache.load` it
+at boot, skipping every simulation for previously planned signatures.
+Entries referencing partitioning schemes unknown to this build (e.g. a store
+written by a newer version) are skipped rather than failing the load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.schemes import scheme_by_name
+from repro.bench.selector import PartitioningRecommendation
+from repro.bench.workloads import Workload
+
+#: Schema version of the persistent plan store.
+STORE_VERSION = 1
+
+
+def recommendation_to_dict(rec: PartitioningRecommendation) -> Dict[str, object]:
+    """JSON-friendly form of one recommendation (scheme stored by name)."""
+    return {
+        "scheme": rec.scheme.name,
+        "replication": list(rec.replication),
+        "stationary": rec.stationary,
+        "percent_of_peak": rec.percent_of_peak,
+        "simulated_time": rec.simulated_time,
+        "memory_per_device": rec.memory_per_device,
+    }
+
+
+def recommendation_from_dict(payload: Dict[str, object]) -> PartitioningRecommendation:
+    """Inverse of :func:`recommendation_to_dict` (raises KeyError on unknown schemes)."""
+    return PartitioningRecommendation(
+        scheme=scheme_by_name(str(payload["scheme"])),
+        replication=tuple(int(x) for x in payload["replication"]),  # type: ignore[union-attr]
+        stationary=str(payload["stationary"]),
+        percent_of_peak=float(payload["percent_of_peak"]),  # type: ignore[arg-type]
+        simulated_time=float(payload["simulated_time"]),  # type: ignore[arg-type]
+        memory_per_device=int(payload["memory_per_device"]),  # type: ignore[arg-type]
+    )
+
+
+@dataclass
+class PlanEntry:
+    """One cached planning outcome: the ranked plans for a signature bucket."""
+
+    recommendations: List[PartitioningRecommendation]
+    #: The workload the plan was actually computed for (the shape bucket's
+    #: representative when bucketing is enabled).
+    workload: Optional[Workload] = None
+    num_simulated: int = 0
+    num_pruned: int = 0
+
+    @property
+    def best(self) -> PartitioningRecommendation:
+        return self.recommendations[0]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "recommendations": [recommendation_to_dict(r) for r in self.recommendations],
+            "workload": self.workload.to_dict() if self.workload is not None else None,
+            "num_simulated": self.num_simulated,
+            "num_pruned": self.num_pruned,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PlanEntry":
+        workload = payload.get("workload")
+        return cls(
+            recommendations=[
+                recommendation_from_dict(item) for item in payload["recommendations"]  # type: ignore[union-attr]
+            ],
+            workload=Workload.from_dict(workload) if workload else None,  # type: ignore[arg-type]
+            num_simulated=int(payload.get("num_simulated", 0)),  # type: ignore[arg-type]
+            num_pruned=int(payload.get("num_pruned", 0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class CacheStats:
+    """Counter snapshot returned by :meth:`PlanCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """Thread-safe LRU cache of :class:`PlanEntry` keyed by signature strings."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, PlanEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # lookup / insert
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[PlanEntry]:
+        """Return the entry for ``key`` (refreshing its recency) or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: str, entry: PlanEntry) -> None:
+        """Insert/refresh an entry, evicting least-recently-used beyond capacity."""
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._puts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """Presence check that does not touch recency or counters."""
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> List[str]:
+        """Keys in LRU-to-MRU order (the order persisted by :meth:`save`)."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses, puts=self._puts,
+                              evictions=self._evictions, size=len(self._entries),
+                              capacity=self.capacity)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str) -> str:
+        """Write all entries to a JSON store (atomically via rename)."""
+        with self._lock:
+            payload = {
+                "version": STORE_VERSION,
+                "entries": [
+                    {"key": key, "plan": entry.to_dict()}
+                    for key, entry in self._entries.items()
+                ],
+            }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        # A per-call temp file keeps concurrent saves (e.g. two autosaving
+        # service threads) from clobbering each other's staging file; the
+        # final os.replace is atomic, so last-writer-wins cleanly.
+        fd, tmp_path = tempfile.mkstemp(prefix=os.path.basename(path) + ".",
+                                        suffix=".tmp", dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, path: str) -> int:
+        """Merge entries from a JSON store; returns how many were loaded.
+
+        Missing files, version mismatches, and malformed/unknown-scheme
+        entries are tolerated (a cold cache is always a safe fallback).
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(payload, dict) or payload.get("version") != STORE_VERSION:
+            return 0
+        loaded = 0
+        for item in payload.get("entries", []):
+            try:
+                key = item["key"]
+                entry = PlanEntry.from_dict(item["plan"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if not entry.recommendations:
+                continue
+            self.put(str(key), entry)
+            loaded += 1
+        return loaded

@@ -1,0 +1,256 @@
+"""Cost-bound-pruned search over the partitioning design space.
+
+The exhaustive selector simulates every (scheme, replication, stationary)
+candidate.  Simulation is the expensive part: the direct executor walks every
+generated op through the per-engine clock.  This module keeps the exhaustive
+enumeration but adds branch-and-bound pruning on top of
+:meth:`repro.core.cost_model.CostModel.direct_lower_bound` — an *admissible*
+bound (it never exceeds the simulated makespan), so:
+
+* a candidate whose bound is already worse than the incumbent's **simulated**
+  time cannot win and is skipped without simulating it;
+* candidates are visited in ascending-bound order, so a strong incumbent is
+  found early and prunes most of the space;
+* strict inequality at the threshold guarantees the pruned search returns the
+  *identical* ranked recommendations as the exhaustive search, ties included.
+
+Pruning is only applied under the direct execution mode (the bound is proved
+against the direct executor's reservation discipline); IR-mode searches fall
+back to exhaustive automatically.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.schemes import PartitioningScheme, ua_schemes
+from repro.bench.selector import PartitioningRecommendation
+from repro.bench.sweep import run_ua_point, valid_replication_factors
+from repro.bench.workloads import Workload
+from repro.core.config import ExecutionConfig, ExecutionMode
+from repro.core.cost_model import CostModel
+from repro.core.matmul import model_reduce_time
+from repro.core.slicing import generate_all_ops
+from repro.core.stationary import parse_stationary
+from repro.dist.matrix import DistributedMatrix
+from repro.runtime.runtime import Runtime
+from repro.topology.machines import MachineSpec
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One fully specified point of the design space."""
+
+    #: Enumeration index — the exhaustive search's tie-break order.
+    index: int
+    scheme: PartitioningScheme
+    replication: Tuple[int, int, int]
+    stationary: str
+    memory_per_device: int
+
+
+@dataclass
+class SearchStats:
+    """Bookkeeping for one search run (pruning effectiveness, timings)."""
+
+    num_candidates: int = 0
+    num_memory_rejected: int = 0
+    num_simulated: int = 0
+    num_pruned: int = 0
+    pruning_enabled: bool = True
+    bound_seconds: float = 0.0
+    simulate_seconds: float = 0.0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another run's counters into this one (service aggregation)."""
+        self.num_candidates += other.num_candidates
+        self.num_memory_rejected += other.num_memory_rejected
+        self.num_simulated += other.num_simulated
+        self.num_pruned += other.num_pruned
+        self.bound_seconds += other.bound_seconds
+        self.simulate_seconds += other.simulate_seconds
+
+
+def memory_per_device(workload: Workload, replication: Tuple[int, int, int],
+                      num_devices: int, itemsize: int = 4) -> int:
+    """Worst-case bytes of A+B+C tile storage on one device."""
+    (am, ak), (bk, bn), (cm, cn) = workload.shapes
+    rep_a, rep_b, rep_c = replication
+    per_device = 0
+    for (rows, cols), factor in (((am, ak), rep_a), ((bk, bn), rep_b), ((cm, cn), rep_c)):
+        procs_per_replica = max(1, num_devices // factor)
+        per_device += -(-rows * cols // procs_per_replica) * itemsize
+    return per_device
+
+
+def enumerate_candidates(
+    machine: MachineSpec,
+    workload: Workload,
+    memory_budget_bytes: float,
+    schemes: Sequence[PartitioningScheme],
+    factors: Sequence[int],
+    stationary_options: Sequence[str],
+    itemsize: int = 4,
+) -> Tuple[List[Candidate], int]:
+    """Enumerate the design space in the exhaustive selector's order.
+
+    Returns the memory-feasible candidates plus the count of configurations
+    rejected by the per-device budget.
+    """
+    candidates: List[Candidate] = []
+    rejected = 0
+    index = 0
+    for scheme in schemes:
+        for factor in factors:
+            for c_factor in factors:
+                replication = (factor, factor, c_factor)
+                footprint = memory_per_device(workload, replication,
+                                              machine.num_devices, itemsize)
+                if footprint > memory_budget_bytes:
+                    rejected += len(stationary_options)
+                    continue
+                for stationary in stationary_options:
+                    candidates.append(
+                        Candidate(index=index, scheme=scheme, replication=replication,
+                                  stationary=stationary, memory_per_device=footprint)
+                    )
+                    index += 1
+    return candidates, rejected
+
+
+def _symbolic_matrices(
+    machine: MachineSpec,
+    workload: Workload,
+    candidate: Candidate,
+) -> Tuple[DistributedMatrix, DistributedMatrix, DistributedMatrix]:
+    """Build unmaterialized operands for op generation (no data is allocated)."""
+    runtime = Runtime(machine=machine)
+    rep_a, rep_b, rep_c = candidate.replication
+    p = machine.num_devices
+    part_a, part_b, part_c = candidate.scheme.partitions(
+        workload, p // rep_a, p // rep_b, p // rep_c
+    )
+    a_shape, b_shape, c_shape = workload.shapes
+    a = DistributedMatrix.create(runtime, a_shape, part_a, replication=rep_a,
+                                 name="A", materialize=False)
+    b = DistributedMatrix.create(runtime, b_shape, part_b, replication=rep_b,
+                                 name="B", materialize=False)
+    c = DistributedMatrix.create(runtime, c_shape, part_c, replication=rep_c,
+                                 name="C", materialize=False)
+    return a, b, c
+
+
+def candidate_lower_bound(
+    machine: MachineSpec,
+    workload: Workload,
+    candidate: Candidate,
+    config: Optional[ExecutionConfig] = None,
+) -> float:
+    """Admissible lower bound on the candidate's simulated time (no simulation).
+
+    Generates the candidate's op lists (cheap) and sums per-engine occupancy
+    via :meth:`CostModel.direct_lower_bound`; the replica-reduction term the
+    simulator adds on top is modelled exactly, so the total stays a true
+    lower bound of :func:`repro.bench.sweep.run_ua_point`'s simulated time.
+    """
+    config = config or ExecutionConfig(simulate_only=True)
+    a, b, c = _symbolic_matrices(machine, workload, candidate)
+    per_rank_ops = generate_all_ops(a, b, c, parse_stationary(candidate.stationary))
+    cost_model = CostModel(machine)
+    bound = cost_model.direct_lower_bound(
+        a, b, c, per_rank_ops, cache_remote_tiles=config.cache_remote_tiles
+    )
+    return bound + model_reduce_time(c, cost_model)
+
+
+def search_partitionings(
+    machine: MachineSpec,
+    workload: Workload,
+    *,
+    memory_budget_bytes: Optional[float] = None,
+    schemes: Optional[Sequence[PartitioningScheme]] = None,
+    replication_factors: Optional[Sequence[int]] = None,
+    stationary_options: Sequence[str] = ("A", "B", "C"),
+    top_k: int = 1,
+    itemsize: int = 4,
+    config: Optional[ExecutionConfig] = None,
+    prune: bool = True,
+) -> Tuple[List[PartitioningRecommendation], SearchStats]:
+    """Search the design space; returns (ranked recommendations, search stats).
+
+    With ``prune=False`` this is exactly the exhaustive selector.  With
+    ``prune=True`` (and direct execution mode) the result is guaranteed
+    identical while strictly fewer candidates are simulated whenever any
+    candidate's lower bound exceeds the eventual top-k threshold.
+    """
+    if memory_budget_bytes is None:
+        memory_budget_bytes = machine.memory_capacity
+    schemes = list(schemes) if schemes is not None else ua_schemes()
+    factors = valid_replication_factors(machine.num_devices, replication_factors)
+    config = config or ExecutionConfig(simulate_only=True)
+    effective_k = max(1, top_k)
+
+    candidates, rejected = enumerate_candidates(
+        machine, workload, memory_budget_bytes, schemes, factors,
+        stationary_options, itemsize,
+    )
+    prune = prune and config.mode is ExecutionMode.DIRECT
+    stats = SearchStats(num_candidates=len(candidates), num_memory_rejected=rejected,
+                        pruning_enabled=prune)
+    if not candidates:
+        raise ValueError(
+            "no partitioning fits the per-device memory budget "
+            f"({memory_budget_bytes / 1e9:.2f} GB)"
+        )
+
+    if prune:
+        started = time.perf_counter()
+        bounds = {
+            candidate.index: candidate_lower_bound(machine, workload, candidate, config)
+            for candidate in candidates
+        }
+        stats.bound_seconds = time.perf_counter() - started
+        # Most promising first: a strong incumbent found early prunes the rest.
+        order = sorted(candidates, key=lambda cand: (bounds[cand.index], cand.index))
+    else:
+        bounds = {}
+        order = candidates
+
+    results: List[Tuple[int, PartitioningRecommendation]] = []
+    best_times: List[float] = []  # k smallest simulated times seen so far
+    threshold = float("inf")
+    started = time.perf_counter()
+    for candidate in order:
+        # Strict inequality keeps ties simulated, which is what makes the
+        # pruned ranking provably identical to the exhaustive one.
+        if prune and bounds[candidate.index] > threshold:
+            stats.num_pruned += 1
+            continue
+        point = run_ua_point(machine, workload, candidate.scheme,
+                             candidate.replication, candidate.stationary, config)
+        stats.num_simulated += 1
+        results.append(
+            (
+                candidate.index,
+                PartitioningRecommendation(
+                    scheme=candidate.scheme,
+                    replication=candidate.replication,
+                    stationary=candidate.stationary,
+                    percent_of_peak=point.percent_of_peak,
+                    simulated_time=point.simulated_time,
+                    memory_per_device=candidate.memory_per_device,
+                ),
+            )
+        )
+        bisect.insort(best_times, point.simulated_time)
+        del best_times[effective_k:]
+        if len(best_times) == effective_k:
+            threshold = best_times[-1]
+    stats.simulate_seconds = time.perf_counter() - started
+
+    # Exhaustive order: percent-of-peak descending, enumeration order on ties.
+    results.sort(key=lambda pair: (-pair[1].percent_of_peak, pair[0]))
+    return [rec for _, rec in results[:effective_k]], stats

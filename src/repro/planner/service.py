@@ -1,0 +1,335 @@
+"""PlannerService: the serving brain in front of the design-space search.
+
+``plan()`` answers "how should I partition this problem on this machine?"
+with the same ranked recommendations the exhaustive selector would produce,
+but production-shaped:
+
+* **memoized** — answers come from the LRU plan cache keyed by canonical
+  problem signatures (machine fingerprint + bucketed shape + budget +
+  search-options digest), so near-identical requests cost one dict lookup;
+* **pruned** — cache misses run the branch-and-bound search, simulating only
+  candidates whose cost-model lower bound can still win;
+* **single-flight** — concurrent identical requests are coalesced: one
+  thread computes, the rest wait on the same in-flight result instead of
+  duplicating the search;
+* **warm-startable** — a JSON plan store persists the cache across
+  processes (load at boot, save on demand or automatically per new plan);
+* **observable** — serving counters (requests, hits, coalesced waits,
+  simulations, pruning) are aggregated across the service's lifetime.
+
+``plan_many()`` fans a batch of requests over a thread pool, which both
+exercises and benefits from single-flight dedup when the batch repeats
+signatures.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.schemes import PartitioningScheme
+from repro.bench.selector import PartitioningRecommendation
+from repro.bench.workloads import Workload
+from repro.core.config import ExecutionConfig
+from repro.planner.cache import PlanCache, PlanEntry
+from repro.planner.search import SearchStats, search_partitionings
+from repro.planner.signature import (
+    DEFAULT_BUCKET_RATIO,
+    ProblemSignature,
+    bucket_dim,
+    machine_fingerprint,
+    options_fingerprint,
+)
+from repro.topology.machines import MachineSpec
+
+
+@dataclass
+class PlanResponse:
+    """One served planning answer."""
+
+    signature: ProblemSignature
+    recommendations: List[PartitioningRecommendation]
+    #: True when the answer came from the plan cache (or the warm-start store).
+    cache_hit: bool
+    #: True when this request waited on an identical in-flight computation.
+    coalesced: bool
+    #: Wall-clock seconds this request spent being answered.
+    planning_time: float
+    #: Search bookkeeping; ``None`` for cache hits and coalesced waits.
+    search_stats: Optional[SearchStats] = None
+
+    @property
+    def recommendation(self) -> PartitioningRecommendation:
+        """The best plan."""
+        return self.recommendations[0]
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime serving counters (snapshot via :meth:`PlannerService.stats`)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    plans_computed: int = 0
+    coalesced_requests: int = 0
+    candidates_simulated: int = 0
+    candidates_pruned: int = 0
+    total_planning_time: float = 0.0
+    warm_start_entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+
+class _InFlight:
+    """Rendezvous for one in-progress plan computation (single-flight)."""
+
+    __slots__ = ("event", "entry", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.entry: Optional[PlanEntry] = None
+        self.error: Optional[BaseException] = None
+
+
+class PlannerService:
+    """Plan-serving facade over the cache + pruned search (see module docs)."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        *,
+        top_k: int = 1,
+        memory_budget_bytes: Optional[float] = None,
+        schemes: Optional[Sequence[PartitioningScheme]] = None,
+        replication_factors: Optional[Sequence[int]] = None,
+        stationary_options: Sequence[str] = ("A", "B", "C"),
+        itemsize: int = 4,
+        dtype: str = "float32",
+        bucket_ratio: float = DEFAULT_BUCKET_RATIO,
+        prune: bool = True,
+        config: Optional[ExecutionConfig] = None,
+        cache_capacity: int = 256,
+        store_path: Optional[str] = None,
+        autosave: bool = False,
+        max_workers: int = 4,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.machine = machine
+        self.top_k = top_k
+        self.memory_budget_bytes = memory_budget_bytes
+        self.schemes = list(schemes) if schemes is not None else None
+        self.replication_factors = (
+            list(replication_factors) if replication_factors is not None else None
+        )
+        self.stationary_options = tuple(stationary_options)
+        self.itemsize = itemsize
+        self.dtype = dtype
+        self.bucket_ratio = bucket_ratio
+        self.prune = prune
+        self.config = config or ExecutionConfig(simulate_only=True)
+        self.cache = PlanCache(cache_capacity)
+        self.store_path = store_path
+        self.autosave = autosave
+        self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _InFlight] = {}
+        self._stats = ServiceStats()
+        # The machine and search options are fixed for the service's lifetime,
+        # so their digests are computed once — the warm path must stay a dict
+        # lookup, not an O(devices^2) hash per request.
+        self._machine_digest = machine_fingerprint(machine)
+        self._options_digests: Dict[int, str] = {}
+        if store_path is not None:
+            self._stats.warm_start_entries = self.cache.load(store_path)
+
+    # ------------------------------------------------------------------ #
+    # signatures
+    # ------------------------------------------------------------------ #
+    def _options_digest(self, top_k: int) -> str:
+        digest = self._options_digests.get(top_k)
+        if digest is None:
+            scheme_names = (
+                tuple(s.name for s in self.schemes) if self.schemes is not None else "default"
+            )
+            digest = options_fingerprint(
+                top_k=top_k,
+                schemes=scheme_names,
+                replication_factors=(
+                    tuple(self.replication_factors)
+                    if self.replication_factors is not None else "all"
+                ),
+                stationary=self.stationary_options,
+                itemsize=self.itemsize,
+                # The full frozen config: any field (prefetch depth, async
+                # limits, tile caching, ...) can change simulated times and
+                # therefore the winning plan, so none may alias in the cache.
+                config=repr(self.config),
+            )
+            self._options_digests[top_k] = digest
+        return digest
+
+    def signature_for(self, workload: Workload, top_k: Optional[int] = None) -> ProblemSignature:
+        """Canonical signature a request maps to (its cache identity)."""
+        effective_k = self.top_k if top_k is None else top_k
+        return ProblemSignature(
+            m=bucket_dim(workload.m, self.bucket_ratio),
+            n=bucket_dim(workload.n, self.bucket_ratio),
+            k=bucket_dim(workload.k, self.bucket_ratio),
+            dtype=self.dtype,
+            machine=self._machine_digest,
+            memory_budget=self.memory_budget_bytes,
+            options=self._options_digest(effective_k),
+        )
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def plan(self, workload: Workload, *, top_k: Optional[int] = None) -> PlanResponse:
+        """Serve one planning request (cache -> single-flight -> search)."""
+        started = time.perf_counter()
+        effective_k = self.top_k if top_k is None else top_k
+        signature = self.signature_for(workload, effective_k)
+        key = signature.key()
+
+        leader = False
+        flight: Optional[_InFlight] = None
+        with self._lock:
+            self._stats.requests += 1
+            entry = self.cache.get(key)
+            if entry is None:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+        if entry is not None:
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._stats.cache_hits += 1
+                self._stats.total_planning_time += elapsed
+            return PlanResponse(signature=signature,
+                                recommendations=list(entry.recommendations),
+                                cache_hit=True, coalesced=False,
+                                planning_time=elapsed)
+
+        assert flight is not None
+        if not leader:
+            flight.event.wait()
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._stats.coalesced_requests += 1
+                self._stats.total_planning_time += elapsed
+            if flight.error is not None:
+                raise flight.error
+            assert flight.entry is not None
+            return PlanResponse(signature=signature,
+                                recommendations=list(flight.entry.recommendations),
+                                cache_hit=False, coalesced=True,
+                                planning_time=elapsed)
+
+        search_stats: Optional[SearchStats] = None
+        try:
+            # Plan for the bucket's representative (its upper corner), not the
+            # raw request: every member of the bucket then receives the same
+            # deterministic answer regardless of arrival order, and the memory
+            # budget was checked against the largest shape the bucket admits.
+            planning_workload = signature.representative_workload(name=workload.name)
+            recommendations, search_stats = search_partitionings(
+                self.machine,
+                planning_workload,
+                memory_budget_bytes=self.memory_budget_bytes,
+                schemes=self.schemes,
+                replication_factors=self.replication_factors,
+                stationary_options=self.stationary_options,
+                top_k=effective_k,
+                itemsize=self.itemsize,
+                config=self.config,
+                prune=self.prune,
+            )
+            entry = PlanEntry(recommendations=recommendations,
+                              workload=planning_workload,
+                              num_simulated=search_stats.num_simulated,
+                              num_pruned=search_stats.num_pruned)
+            self.cache.put(key, entry)
+            flight.entry = entry
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+
+        if self.autosave and self.store_path is not None:
+            self.cache.save(self.store_path)
+
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._stats.plans_computed += 1
+            self._stats.candidates_simulated += search_stats.num_simulated
+            self._stats.candidates_pruned += search_stats.num_pruned
+            self._stats.total_planning_time += elapsed
+        return PlanResponse(signature=signature,
+                            recommendations=list(entry.recommendations),
+                            cache_hit=False, coalesced=False,
+                            planning_time=elapsed, search_stats=search_stats)
+
+    def plan_many(self, workloads: Sequence[Workload], *,
+                  top_k: Optional[int] = None) -> List[PlanResponse]:
+        """Serve a batch concurrently over the worker pool (order preserved)."""
+        if not workloads:
+            return []
+        if len(workloads) == 1:
+            return [self.plan(workloads[0], top_k=top_k)]
+        pool = self._ensure_pool()
+        return list(pool.map(lambda w: self.plan(w, top_k=top_k), workloads))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / observability
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="planner",
+                )
+            return self._pool
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of the lifetime serving counters."""
+        with self._lock:
+            return replace(self._stats)
+
+    def cache_stats(self):
+        """Snapshot of the underlying plan cache's counters."""
+        return self.cache.stats()
+
+    def save_store(self, path: Optional[str] = None) -> str:
+        """Persist the plan cache to ``path`` (default: the configured store)."""
+        target = path or self.store_path
+        if target is None:
+            raise ValueError("no store path configured and none given")
+        return self.cache.save(target)
+
+    def close(self) -> None:
+        """Shut the worker pool down (and autosave the store if configured)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if self.autosave and self.store_path is not None:
+            self.cache.save(self.store_path)
+
+    def __enter__(self) -> "PlannerService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

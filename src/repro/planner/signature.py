@@ -1,0 +1,135 @@
+"""Canonical problem signatures: the planner's cache key.
+
+A production planning service sees millions of near-identical requests — the
+same transformer layer at slightly different batch sizes, the same machine
+fleet, the same memory budget.  Two ingredients turn those into cache hits:
+
+* a **machine fingerprint** — a stable digest of everything the cost model
+  reads from a :class:`~repro.topology.machines.MachineSpec` (device count,
+  peaks, bandwidths, the full link matrix), so plans never leak between
+  machines that merely share a name;
+* **geometric shape bucketing** — each of m/n/k is snapped to its geometric
+  bucket's upper corner, so requests within ~±10% of each other share a
+  bucket (and therefore a plan, computed for the corner so it stays
+  memory-feasible for every member), while the paper's batch sweep
+  (1024/2048/4096/8192 — factors of 2 apart) still lands in distinct buckets
+  for any ratio below 2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bench.workloads import Workload
+from repro.topology.machines import MachineSpec
+
+#: Requests whose dimensions differ by less than ~±11% share a bucket.
+DEFAULT_BUCKET_RATIO = 1.25
+
+
+def bucket_dim(value: int, ratio: float = DEFAULT_BUCKET_RATIO) -> int:
+    """Snap a dimension to its geometric bucket's *upper corner*.
+
+    Bucket ``i`` covers ``(ratio**(i-1/2), ratio**(i+1/2)]``; the returned
+    label is ``ceil(ratio**(i+1/2))`` — the largest dimension any member of
+    the bucket can have.  Planning for the corner (rather than, say, the
+    bucket's midpoint) keeps the served plan memory-feasible for *every*
+    request that maps to the bucket, since tile footprints grow
+    monotonically with the dimensions.
+
+    ``ratio <= 1`` (or ``None``) disables bucketing and returns the exact
+    dimension, which makes the signature exact-match only.
+    """
+    if value < 1:
+        raise ValueError(f"dimension must be positive, got {value}")
+    if ratio is None or ratio <= 1.0:
+        return int(value)
+    index = round(math.log(value) / math.log(ratio))
+    return max(int(value), int(math.ceil(ratio ** (index + 0.5))))
+
+
+def machine_fingerprint(machine: MachineSpec) -> str:
+    """Stable digest of every MachineSpec field the cost model consumes."""
+    parts = [
+        machine.name,
+        machine.num_devices,
+        machine.flops_peak,
+        machine.memory_bandwidth,
+        machine.memory_capacity,
+        machine.device_link_bandwidth,
+        machine.accumulate_efficiency,
+        machine.accumulate_compute_interference,
+        machine.gemm_efficiency,
+        machine.kernel_launch_overhead,
+    ]
+    topology = machine.topology
+    for src in range(topology.num_devices):
+        for dst in range(topology.num_devices):
+            link = topology.link(src, dst)
+            parts.append(link.bandwidth)
+            parts.append(link.latency)
+    blob = "|".join(repr(part) for part in parts)
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:12]
+
+
+def options_fingerprint(**options: object) -> str:
+    """Digest of search options (top_k, schemes, factors, ...) folded into keys.
+
+    Plans computed under different search spaces must never serve each other,
+    so the service hashes its effective options into the signature.
+    """
+    blob = "|".join(f"{key}={options[key]!r}" for key in sorted(options))
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class ProblemSignature:
+    """Canonical identity of one planning request (hashable, JSON-keyable)."""
+
+    #: Bucketed problem dimensions (``C[m,n] = A[m,k] @ B[k,n]``).
+    m: int
+    n: int
+    k: int
+    #: Element type of the operands (affects footprints and transfer sizes).
+    dtype: str
+    #: Output of :func:`machine_fingerprint`.
+    machine: str
+    #: Per-device memory budget in bytes; ``None`` means the machine's capacity.
+    memory_budget: Optional[float] = None
+    #: Output of :func:`options_fingerprint` for the search options in force.
+    options: str = ""
+
+    @classmethod
+    def from_request(
+        cls,
+        machine: MachineSpec,
+        workload: Workload,
+        *,
+        dtype: str = "float32",
+        memory_budget_bytes: Optional[float] = None,
+        bucket_ratio: float = DEFAULT_BUCKET_RATIO,
+        options: str = "",
+    ) -> "ProblemSignature":
+        """Build the signature for one (machine, workload) planning request."""
+        return cls(
+            m=bucket_dim(workload.m, bucket_ratio),
+            n=bucket_dim(workload.n, bucket_ratio),
+            k=bucket_dim(workload.k, bucket_ratio),
+            dtype=str(dtype),
+            machine=machine_fingerprint(machine),
+            memory_budget=memory_budget_bytes,
+            options=options,
+        )
+
+    def key(self) -> str:
+        """Stable string form used by the LRU cache and the JSON plan store."""
+        budget = "cap" if self.memory_budget is None else f"{float(self.memory_budget):.6g}"
+        return f"{self.m}x{self.n}x{self.k}|{self.dtype}|{self.machine}|{budget}|{self.options}"
+
+    def representative_workload(self, name: str = "bucket") -> Workload:
+        """The bucket's canonical workload (what a fresh plan is computed for)."""
+        return Workload(name=f"{name}_{self.m}x{self.n}x{self.k}",
+                        m=self.m, n=self.n, k=self.k)

@@ -8,9 +8,12 @@ from repro.bench.workloads import (
     MLP_HIDDEN,
     MLP_RATIO,
     Workload,
+    attention_workload,
     mlp1_workload,
     mlp2_workload,
+    rectangular_series,
     square_workload,
+    tall_skinny_workload,
 )
 from repro.bench.workloads import mlp1_series, mlp2_series
 
@@ -60,6 +63,32 @@ class TestWorkloads:
     def test_invalid_dimensions(self):
         with pytest.raises(ValueError):
             Workload("bad", 0, 10, 10)
+
+    def test_dict_roundtrip(self):
+        workload = mlp1_workload(2048)
+        assert Workload.from_dict(workload.to_dict()) == workload
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+
+        payload = json.loads(json.dumps(attention_workload(512).to_dict()))
+        assert Workload.from_dict(payload) == attention_workload(512)
+
+    def test_attention_is_square_output_tiny_k(self):
+        workload = attention_workload(2048, head_dim=128)
+        assert workload.m == workload.n == 2048
+        assert workload.k == 128
+
+    def test_tall_skinny_is_tall(self):
+        workload = tall_skinny_workload(100000)
+        assert workload.m > 100 * workload.n
+
+    def test_rectangular_series_holds_flops_constant(self):
+        series = rectangular_series(base=1024, aspects=(1, 2, 4))
+        assert len(series) == 3
+        flops = {workload.flops for workload in series}
+        assert len(flops) == 1
+        assert series[-1].n > series[0].n
 
 
 class TestAspectGrid:

@@ -1,0 +1,178 @@
+"""Unit tests for the LRU plan cache and its persistent JSON store."""
+
+import json
+import threading
+
+import pytest
+
+from repro.bench.schemes import scheme_by_name
+from repro.bench.selector import PartitioningRecommendation
+from repro.bench.workloads import Workload
+from repro.planner.cache import (
+    PlanCache,
+    PlanEntry,
+    recommendation_from_dict,
+    recommendation_to_dict,
+)
+
+
+def make_entry(scheme: str = "column", percent: float = 50.0) -> PlanEntry:
+    rec = PartitioningRecommendation(
+        scheme=scheme_by_name(scheme),
+        replication=(1, 1, 2),
+        stationary="B",
+        percent_of_peak=percent,
+        simulated_time=1.0 / max(percent, 1e-9),
+        memory_per_device=1 << 20,
+    )
+    return PlanEntry(recommendations=[rec], workload=Workload("w", 96, 80, 64),
+                     num_simulated=5, num_pruned=7)
+
+
+class TestLRU:
+    def test_get_put_roundtrip(self):
+        cache = PlanCache(capacity=4)
+        entry = make_entry()
+        cache.put("k1", entry)
+        assert cache.get("k1") is entry
+        assert cache.get("missing") is None
+
+    def test_evicts_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        cache.put("k1", make_entry())
+        cache.put("k2", make_entry())
+        cache.put("k3", make_entry())
+        assert "k1" not in cache
+        assert "k2" in cache and "k3" in cache
+        assert cache.stats().evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        cache.put("k1", make_entry())
+        cache.put("k2", make_entry())
+        cache.get("k1")  # k1 becomes most recent; k2 is now LRU
+        cache.put("k3", make_entry())
+        assert "k1" in cache
+        assert "k2" not in cache
+
+    def test_counters(self):
+        cache = PlanCache(capacity=2)
+        cache.put("k1", make_entry())
+        cache.get("k1")
+        cache.get("k1")
+        cache.get("nope")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.puts) == (2, 1, 1)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert stats.size == 1 and stats.capacity == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_concurrent_puts_and_gets(self):
+        cache = PlanCache(capacity=16)
+
+        def worker(tag: int) -> None:
+            for i in range(50):
+                cache.put(f"k{tag}_{i % 8}", make_entry())
+                cache.get(f"k{tag}_{i % 8}")
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 16
+
+
+class TestSerialization:
+    def test_recommendation_roundtrip(self):
+        entry = make_entry()
+        rec = entry.best
+        restored = recommendation_from_dict(recommendation_to_dict(rec))
+        assert restored.scheme.name == rec.scheme.name
+        assert restored.replication == rec.replication
+        assert restored.stationary == rec.stationary
+        assert restored.percent_of_peak == rec.percent_of_peak
+        assert restored.simulated_time == rec.simulated_time
+        assert restored.memory_per_device == rec.memory_per_device
+
+    def test_plan_entry_roundtrip_preserves_workload(self):
+        entry = make_entry()
+        restored = PlanEntry.from_dict(entry.to_dict())
+        assert restored.workload == entry.workload
+        assert restored.num_simulated == 5 and restored.num_pruned == 7
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        cache = PlanCache(capacity=8)
+        cache.put("k1", make_entry("column", 60.0))
+        cache.put("k2", make_entry("outer", 40.0))
+        path = str(tmp_path / "store" / "plans.json")
+        cache.save(path)
+
+        fresh = PlanCache(capacity=8)
+        assert fresh.load(path) == 2
+        assert fresh.get("k1").best.scheme.name == "column"
+        assert fresh.get("k2").best.scheme.name == "outer"
+        assert fresh.get("k2").best.percent_of_peak == pytest.approx(40.0)
+
+    def test_load_missing_file_is_cold_start(self, tmp_path):
+        cache = PlanCache()
+        assert cache.load(str(tmp_path / "nope.json")) == 0
+        assert len(cache) == 0
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps({"version": 999, "entries": []}))
+        assert PlanCache().load(str(path)) == 0
+
+    def test_load_skips_unknown_scheme_entries(self, tmp_path):
+        cache = PlanCache()
+        cache.put("good", make_entry())
+        path = str(tmp_path / "plans.json")
+        cache.save(path)
+        payload = json.loads(open(path).read())
+        bad = json.loads(json.dumps(payload["entries"][0]))
+        bad["key"] = "bad"
+        bad["plan"]["recommendations"][0]["scheme"] = "from-the-future"
+        payload["entries"].append(bad)
+        open(path, "w").write(json.dumps(payload))
+
+        fresh = PlanCache()
+        assert fresh.load(path) == 1
+        assert "good" in fresh and "bad" not in fresh
+
+    def test_concurrent_saves_leave_a_valid_store(self, tmp_path):
+        """Parallel save() calls (autosaving services) must never corrupt the store."""
+        cache = PlanCache(capacity=8)
+        cache.put("k", make_entry())
+        path = str(tmp_path / "plans.json")
+        errors = []
+
+        def saver() -> None:
+            try:
+                for _ in range(20):
+                    cache.save(path)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=saver) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert PlanCache().load(path) == 1
+
+    def test_save_respects_lru_order(self, tmp_path):
+        cache = PlanCache(capacity=8)
+        cache.put("old", make_entry())
+        cache.put("new", make_entry())
+        cache.get("old")  # refresh: "new" is now least recent
+        path = str(tmp_path / "plans.json")
+        cache.save(path)
+        keys = [item["key"] for item in json.loads(open(path).read())["entries"]]
+        assert keys == ["new", "old"]

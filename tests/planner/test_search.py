@@ -1,0 +1,121 @@
+"""Planner search correctness: pruning must be invisible in the results.
+
+The load-bearing property: on any design space, the pruned search returns the
+*identical* ranked recommendations as the exhaustive search while provably
+simulating fewer candidates.  That only holds if the cost-model bound is
+admissible (never exceeds the simulated time), so that is tested directly.
+"""
+
+import pytest
+
+from repro.bench.schemes import ua_schemes
+from repro.bench.sweep import run_ua_point, valid_replication_factors
+from repro.bench.workloads import Workload, attention_workload
+from repro.core.config import ExecutionConfig, ExecutionMode
+from repro.planner.search import (
+    candidate_lower_bound,
+    enumerate_candidates,
+    memory_per_device,
+    search_partitionings,
+)
+from repro.topology.machines import uniform_system
+
+MACHINE = uniform_system(4)
+SMALL = Workload("small", 96, 80, 64)
+
+
+def as_tuples(recommendations):
+    return [
+        (rec.scheme.name, rec.replication, rec.stationary,
+         rec.percent_of_peak, rec.simulated_time, rec.memory_per_device)
+        for rec in recommendations
+    ]
+
+
+class TestPrunedEqualsExhaustive:
+    def test_identical_best_with_fewer_simulations(self):
+        """The acceptance criterion: same best plan, strictly fewer simulations."""
+        exhaustive, ex_stats = search_partitionings(MACHINE, SMALL, prune=False)
+        pruned, pr_stats = search_partitionings(MACHINE, SMALL, prune=True)
+        assert as_tuples(pruned) == as_tuples(exhaustive)
+        assert pr_stats.num_simulated < ex_stats.num_simulated
+        assert pr_stats.num_pruned > 0
+        assert pr_stats.num_simulated + pr_stats.num_pruned == pr_stats.num_candidates
+        assert ex_stats.num_simulated == ex_stats.num_candidates
+
+    def test_identical_top_k_ranking(self):
+        exhaustive, _ = search_partitionings(MACHINE, SMALL, top_k=5, prune=False)
+        pruned, _ = search_partitionings(MACHINE, SMALL, top_k=5, prune=True)
+        assert len(exhaustive) == 5
+        assert as_tuples(pruned) == as_tuples(exhaustive)
+
+    @pytest.mark.parametrize("workload", [
+        Workload("wide", 64, 256, 48),
+        Workload("tall", 256, 48, 64),
+        attention_workload(128, head_dim=32),
+    ])
+    def test_identical_across_shapes(self, workload):
+        exhaustive, _ = search_partitionings(MACHINE, workload, top_k=3, prune=False)
+        pruned, _ = search_partitionings(MACHINE, workload, top_k=3, prune=True)
+        assert as_tuples(pruned) == as_tuples(exhaustive)
+
+    def test_ir_mode_falls_back_to_exhaustive(self):
+        config = ExecutionConfig(simulate_only=True, mode=ExecutionMode.IR)
+        _, stats = search_partitionings(MACHINE, SMALL, config=config,
+                                        replication_factors=[1],
+                                        stationary_options=("C",))
+        assert not stats.pruning_enabled
+        assert stats.num_pruned == 0
+        assert stats.num_simulated == stats.num_candidates
+
+
+class TestLowerBoundAdmissible:
+    def test_bound_never_exceeds_simulated_time(self):
+        """Admissibility over the whole small design space, reduce term included."""
+        config = ExecutionConfig(simulate_only=True)
+        factors = valid_replication_factors(MACHINE.num_devices)
+        candidates, _ = enumerate_candidates(
+            MACHINE, SMALL, MACHINE.memory_capacity, ua_schemes(), factors,
+            ("A", "B", "C"),
+        )
+        assert candidates
+        for candidate in candidates:
+            bound = candidate_lower_bound(MACHINE, SMALL, candidate, config)
+            point = run_ua_point(MACHINE, SMALL, candidate.scheme,
+                                 candidate.replication, candidate.stationary, config)
+            assert bound <= point.simulated_time + 1e-12, candidate
+
+    def test_bound_is_positive(self):
+        candidates, _ = enumerate_candidates(
+            MACHINE, SMALL, MACHINE.memory_capacity, ua_schemes(), [1], ("C",)
+        )
+        assert candidate_lower_bound(MACHINE, SMALL, candidates[0]) > 0.0
+
+
+class TestEnumeration:
+    def test_memory_budget_rejections_counted(self):
+        itemsize = 4
+        tight = sum(rows * cols for rows, cols in SMALL.shapes) * itemsize / 4 * 1.2
+        candidates, rejected = enumerate_candidates(
+            MACHINE, SMALL, tight, ua_schemes(), [1, 2, 4], ("C",)
+        )
+        assert rejected > 0
+        assert all(cand.replication == (1, 1, 1) for cand in candidates)
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError):
+            search_partitionings(MACHINE, SMALL, memory_budget_bytes=16)
+
+    def test_memory_per_device_matches_budget_filter(self):
+        footprint = memory_per_device(SMALL, (1, 1, 1), MACHINE.num_devices)
+        assert footprint > 0
+        candidates, _ = enumerate_candidates(
+            MACHINE, SMALL, MACHINE.memory_capacity, ua_schemes(), [1], ("C",)
+        )
+        assert candidates[0].memory_per_device == footprint
+
+    def test_enumeration_indices_are_dense(self):
+        candidates, _ = enumerate_candidates(
+            MACHINE, SMALL, MACHINE.memory_capacity, ua_schemes(), [1, 2], ("A", "B")
+        )
+        assert [cand.index for cand in candidates] == list(range(len(candidates)))

@@ -1,0 +1,98 @@
+"""Unit tests for problem signatures: bucketing and machine fingerprints."""
+
+import pytest
+
+from repro.bench.workloads import Workload, mlp1_workload
+from repro.planner.signature import (
+    DEFAULT_BUCKET_RATIO,
+    ProblemSignature,
+    bucket_dim,
+    machine_fingerprint,
+    options_fingerprint,
+)
+from repro.topology.machines import h100_system, pvc_system, uniform_system
+
+
+class TestBucketDim:
+    def test_near_identical_dims_share_a_bucket(self):
+        assert bucket_dim(4096) == bucket_dim(4100)
+        assert bucket_dim(1000) == bucket_dim(1024)
+
+    def test_paper_batch_sweep_stays_distinct(self):
+        """1024/2048/4096/8192 are factors of 2 apart: separate buckets."""
+        buckets = {bucket_dim(batch) for batch in (1024, 2048, 4096, 8192)}
+        assert len(buckets) == 4
+
+    def test_monotone(self):
+        values = [bucket_dim(v) for v in (1, 7, 64, 500, 4096, 100000)]
+        assert values == sorted(values)
+
+    def test_ratio_one_disables_bucketing(self):
+        assert bucket_dim(4097, ratio=1.0) == 4097
+        assert bucket_dim(4097, ratio=None) == 4097
+
+    def test_tiny_dims_stay_positive(self):
+        assert bucket_dim(1) >= 1
+        assert bucket_dim(2) >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bucket_dim(0)
+
+
+class TestMachineFingerprint:
+    def test_deterministic(self):
+        assert machine_fingerprint(pvc_system(12)) == machine_fingerprint(pvc_system(12))
+
+    def test_distinguishes_systems(self):
+        prints = {
+            machine_fingerprint(pvc_system(12)),
+            machine_fingerprint(h100_system(8)),
+            machine_fingerprint(uniform_system(4)),
+        }
+        assert len(prints) == 3
+
+    def test_device_count_changes_fingerprint(self):
+        assert machine_fingerprint(pvc_system(12)) != machine_fingerprint(pvc_system(6))
+
+
+class TestProblemSignature:
+    MACHINE = uniform_system(4)
+
+    def test_bucketed_requests_share_a_key(self):
+        sig_a = ProblemSignature.from_request(self.MACHINE, Workload("a", 4096, 512, 512))
+        sig_b = ProblemSignature.from_request(self.MACHINE, Workload("b", 4100, 512, 512))
+        assert sig_a == sig_b
+        assert sig_a.key() == sig_b.key()
+
+    def test_different_machines_never_collide(self):
+        workload = mlp1_workload(1024)
+        sig_a = ProblemSignature.from_request(self.MACHINE, workload)
+        sig_b = ProblemSignature.from_request(h100_system(8), workload)
+        assert sig_a.key() != sig_b.key()
+
+    def test_options_digest_separates_keys(self):
+        workload = mlp1_workload(1024)
+        sig_a = ProblemSignature.from_request(self.MACHINE, workload,
+                                              options=options_fingerprint(top_k=1))
+        sig_b = ProblemSignature.from_request(self.MACHINE, workload,
+                                              options=options_fingerprint(top_k=3))
+        assert sig_a.key() != sig_b.key()
+
+    def test_memory_budget_in_key(self):
+        workload = mlp1_workload(1024)
+        sig_a = ProblemSignature.from_request(self.MACHINE, workload)
+        sig_b = ProblemSignature.from_request(self.MACHINE, workload,
+                                              memory_budget_bytes=1e9)
+        assert sig_a.key() != sig_b.key()
+
+    def test_representative_workload_is_valid(self):
+        sig = ProblemSignature.from_request(self.MACHINE, Workload("w", 4096, 512, 64))
+        rep = sig.representative_workload()
+        assert rep.m == sig.m and rep.n == sig.n and rep.k == sig.k
+        assert rep.flops > 0
+
+    def test_hashable(self):
+        workload = mlp1_workload(1024)
+        sig = ProblemSignature.from_request(self.MACHINE, workload)
+        assert sig in {ProblemSignature.from_request(self.MACHINE, workload)}
