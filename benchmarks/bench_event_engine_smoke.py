@@ -1,0 +1,166 @@
+"""Event-engine drift smoke: pin simulated times to a committed snapshot.
+
+The simulated times produced by the execution engines are pure functions of
+the op lists and the machine model — they must not move when the plumbing
+underneath them is refactored.  This tool simulates a small deterministic
+grid of sweep points (both execution modes, several partitioning schemes and
+machines) and compares every simulated time against the snapshot committed at
+``benchmarks/results/event_engine_smoke.json`` with a 1e-9 relative
+tolerance.  CI runs ``--check`` on every push; run ``--write`` only when a
+deliberate cost-model change is being made, and say so in the commit.
+
+Usage:
+    python benchmarks/bench_event_engine_smoke.py --check   # default
+    python benchmarks/bench_event_engine_smoke.py --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.schemes import scheme_by_name
+from repro.bench.sweep import run_ua_point
+from repro.bench.workloads import Workload
+from repro.core.config import ExecutionConfig, ExecutionMode
+from repro.topology.machines import h100_system, pvc_system, uniform_system
+
+SNAPSHOT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "event_engine_smoke.json"
+)
+RELATIVE_TOLERANCE = 1.0e-9
+
+_MACHINES = {
+    "uniform4": lambda: uniform_system(4),
+    "pvc4": lambda: pvc_system(4),
+    # H100 exercises the accumulate/compute interference path.
+    "h100_4": lambda: h100_system(4),
+}
+_WORKLOADS = [
+    Workload(name="smoke_mlp", m=256, n=512, k=128),
+    Workload(name="smoke_ksplit", m=192, n=192, k=384),
+    Workload(name="smoke_attn", m=256, n=256, k=64),
+]
+_SCHEMES = ["column", "outer"]
+_STATIONARY = ["A", "C"]
+_MODES = ["direct", "ir"]
+_REPLICATIONS = [(1, 1, 1), (2, 2, 2)]
+
+
+def compute_points() -> list:
+    """Simulate the smoke grid; returns one record per point, in a fixed order."""
+    records = []
+    for machine_name, factory in sorted(_MACHINES.items()):
+        machine = factory()
+        for workload in _WORKLOADS:
+            for scheme_name in _SCHEMES:
+                for replication in _REPLICATIONS:
+                    for stationary in _STATIONARY:
+                        for mode in _MODES:
+                            config = ExecutionConfig(
+                                mode=ExecutionMode(mode), simulate_only=True
+                            )
+                            point = run_ua_point(
+                                machine,
+                                workload,
+                                scheme_by_name(scheme_name),
+                                replication=replication,
+                                stationary=stationary,
+                                config=config,
+                            )
+                            records.append(
+                                {
+                                    "machine": machine_name,
+                                    "workload": workload.name,
+                                    "m": workload.m,
+                                    "n": workload.n,
+                                    "k": workload.k,
+                                    "scheme": scheme_name,
+                                    "replication": list(replication),
+                                    "stationary": stationary,
+                                    "mode": mode,
+                                    "simulated_time": point.simulated_time,
+                                    "percent_of_peak": point.percent_of_peak,
+                                }
+                            )
+    return records
+
+
+def _key(record: dict) -> tuple:
+    return (
+        record["machine"],
+        record["workload"],
+        record["scheme"],
+        tuple(record["replication"]),
+        record["stationary"],
+        record["mode"],
+    )
+
+
+def write_snapshot(path: str = SNAPSHOT_PATH) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    payload = {"version": 1, "tolerance": RELATIVE_TOLERANCE, "points": compute_points()}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def check_snapshot(path: str = SNAPSHOT_PATH) -> int:
+    """Compare freshly simulated times against the snapshot; returns #mismatches."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    expected = {_key(record): record for record in payload["points"]}
+    actual = compute_points()
+    if len(actual) != len(expected):
+        print(f"point count drifted: snapshot has {len(expected)}, run produced {len(actual)}")
+        return max(1, abs(len(actual) - len(expected)))
+
+    mismatches = 0
+    worst = 0.0
+    for record in actual:
+        reference = expected.get(_key(record))
+        if reference is None:
+            print(f"point missing from snapshot: {_key(record)}")
+            mismatches += 1
+            continue
+        want = reference["simulated_time"]
+        got = record["simulated_time"]
+        drift = abs(got - want) / max(abs(want), 1e-300)
+        worst = max(worst, drift)
+        if drift > RELATIVE_TOLERANCE:
+            mismatches += 1
+            print(
+                f"DRIFT {_key(record)}: snapshot {want!r} vs simulated {got!r} "
+                f"(relative {drift:.3e})"
+            )
+    status = "OK" if mismatches == 0 else f"{mismatches} mismatches"
+    print(f"event-engine smoke: {len(actual)} points, max relative drift "
+          f"{worst:.3e} — {status}")
+    return mismatches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true",
+                        help="regenerate the snapshot instead of checking it")
+    parser.add_argument("--check", action="store_true",
+                        help="check against the snapshot (the default action)")
+    parser.add_argument("--snapshot", default=SNAPSHOT_PATH,
+                        help="snapshot path (default: committed location)")
+    args = parser.parse_args(argv)
+    if args.write:
+        path = write_snapshot(args.snapshot)
+        print(f"wrote {path}")
+        return 0
+    return 1 if check_snapshot(args.snapshot) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,8 @@
-"""Helpers shared by the benchmark modules (result persistence, sweep presets)."""
+"""Helpers shared by the benchmark modules (result persistence, sweep presets).
+
+Set ``REPRO_SWEEP_JOBS=<n>`` to fan the universal-algorithm sweeps behind the
+figure benchmarks over ``n`` worker processes (the default remains serial).
+"""
 
 from __future__ import annotations
 
@@ -20,6 +24,17 @@ from repro.topology.machines import MachineSpec
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
 
+def sweep_jobs(default: Optional[int] = None) -> Optional[int]:
+    """Worker-pool width for sweeps: the ``REPRO_SWEEP_JOBS`` env var wins."""
+    raw = os.environ.get("REPRO_SWEEP_JOBS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return default
+
+
 def write_result(name: str, text: str) -> str:
     """Persist a regenerated figure/table under benchmarks/results/."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -37,6 +52,7 @@ def figure_points(
     include_cosma: bool = False,
     stationary_options: Sequence[str] = ("A", "B", "C"),
     replication_factors: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Regenerate one figure panel: the best UA bar per scheme plus comparators.
 
@@ -54,6 +70,7 @@ def figure_points(
         mixed_output_replication=mixed_output_replication,
         stationary_options=stationary_options,
         config=config,
+        jobs=sweep_jobs(jobs),
     )
     points = best_per_scheme(ua_points)
     points += run_dtensor_series(machine, workloads)

@@ -7,9 +7,11 @@ for a GPT MLP-1 layer, sweep the six partitioning families, all valid
 replication factors, and the three data-movement strategies on the PVC
 machine model, then print the best configuration per family together with the
 DTensor-style comparators.  Everything runs in simulate-only mode, so the
-full-size problem is explored in a few seconds.
+full-size problem is explored in a few seconds.  Set ``REPRO_SWEEP_JOBS=<n>``
+to fan the sweep over a pool of worker processes.
 """
 
+import os
 import sys
 
 from repro.bench.report import format_table, print_figure
@@ -25,8 +27,16 @@ def main() -> None:
     workload = mlp1_workload(batch)
     config = ExecutionConfig(simulate_only=True)
 
-    print(f"sweeping partitionings for MLP-1 with batch={batch} on 12xPVC ...")
-    points = run_ua_sweep(machine, [workload], config=config)
+    # Same semantics as benchmarks/harness_common.sweep_jobs (separate tree,
+    # so not importable here): unset or non-numeric means serial.
+    raw = os.environ.get("REPRO_SWEEP_JOBS", "").strip()
+    try:
+        jobs = max(1, int(raw)) if raw else None
+    except ValueError:
+        jobs = None
+    suffix = f" with {jobs} worker processes" if jobs and jobs > 1 else ""
+    print(f"sweeping partitionings for MLP-1 with batch={batch} on 12xPVC{suffix} ...")
+    points = run_ua_sweep(machine, [workload], config=config, jobs=jobs)
     best = best_per_scheme(points)
     best += run_dtensor_series(machine, [workload])
 

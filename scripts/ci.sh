@@ -24,4 +24,7 @@ python examples/planner_service.py --family attention --system uniform \
 echo "== benchmark smoke: planner throughput (fast mode) =="
 python benchmarks/bench_planner_throughput.py --fast
 
+echo "== benchmark smoke: event-engine drift check =="
+python benchmarks/bench_event_engine_smoke.py --check
+
 echo "CI passed."

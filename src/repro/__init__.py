@@ -47,6 +47,7 @@ from repro.core import (
     plan_ops,
     universal_matmul,
 )
+from repro.sim import EventEngine, EventKind, InMemoryTraceRecorder
 
 __all__ = [
     "__version__",
@@ -70,4 +71,7 @@ __all__ = [
     "Stationary",
     "plan_ops",
     "universal_matmul",
+    "EventEngine",
+    "EventKind",
+    "InMemoryTraceRecorder",
 ]

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baselines.base import BaselineAlgorithm, BaselineResult
+from repro.baselines.base import BaselineAlgorithm, BaselinePhase, BaselineResult
 from repro.collectives.models import allreduce_time
 from repro.core.cost_model import CostModel
 from repro.topology.machines import MachineSpec
@@ -43,9 +43,9 @@ class OneAndHalfD(BaselineAlgorithm):
             )
         return num_devices // self.replication
 
-    # ------------------------------------------------------------------ #
-    def simulate(self, m: int, n: int, k: int, machine: MachineSpec,
-                 itemsize: int = 4) -> BaselineResult:
+    def _terms(self, m: int, n: int, k: int, machine: MachineSpec,
+               itemsize: int) -> dict:
+        """Per-step model terms shared by the closed form and the event trace."""
         p = machine.num_devices
         c = self.replication
         group = self._group_size(p)
@@ -63,24 +63,49 @@ class OneAndHalfD(BaselineAlgorithm):
         latency = machine.topology.latency(0, 1) if p > 1 else 0.0
         shift_step = latency + shift_bytes / bandwidth if group > 1 else 0.0
 
-        per_step = self._combine(gemm_step, shift_step)
-        ring_total = per_step * max(0, steps - 1) + gemm_step
-
         reduce_bytes = m_local * n * itemsize
         group_ranks = list(range(0, p, group))[:c] if c > 1 else [0]
         reduce_total = allreduce_time(machine, group_ranks, reduce_bytes) if c > 1 else 0.0
+        return dict(p=p, c=c, group=group, steps=steps, gemm_step=gemm_step,
+                    shift_step=shift_step, shift_bytes=shift_bytes,
+                    reduce_bytes=reduce_bytes, reduce_total=reduce_total)
 
-        total = ring_total + reduce_total
+    # ------------------------------------------------------------------ #
+    def simulate(self, m: int, n: int, k: int, machine: MachineSpec,
+                 itemsize: int = 4) -> BaselineResult:
+        t = self._terms(m, n, k, machine, itemsize)
+        c, steps = t["c"], t["steps"]
+        gemm_step, shift_step = t["gemm_step"], t["shift_step"]
+
+        per_step = self._combine(gemm_step, shift_step)
+        ring_total = per_step * max(0, steps - 1) + gemm_step
+        total = ring_total + t["reduce_total"]
         return self._result(
             machine, m, n, k,
             compute_time=gemm_step * steps,
-            communication_time=shift_step * max(0, steps - 1) + reduce_total,
+            communication_time=shift_step * max(0, steps - 1) + t["reduce_total"],
             total_time=total,
-            communication_bytes=(shift_bytes * max(0, steps - 1) + (c - 1) * reduce_bytes) * p,
+            communication_bytes=(t["shift_bytes"] * max(0, steps - 1)
+                                 + (c - 1) * t["reduce_bytes"]) * t["p"],
             replication=c,
-            group_size=group,
+            group_size=t["group"],
             steps=steps,
         )
+
+    def phases(self, m: int, n: int, k: int, machine: MachineSpec,
+               itemsize: int = 4) -> list:
+        """Ring rotations over the group's inner share, then the replica all-reduce."""
+        t = self._terms(m, n, k, machine, itemsize)
+        phases = []
+        if t["steps"] > 1:
+            phases.append(BaselinePhase(label="ring-step", compute=t["gemm_step"],
+                                        comm=t["shift_step"], overlap=self.overlap,
+                                        repeat=t["steps"] - 1))
+        phases.append(BaselinePhase(label="final-multiply", compute=t["gemm_step"]))
+        if t["reduce_total"] > 0.0:
+            phases.append(BaselinePhase(label="replica-allreduce",
+                                        comm=t["reduce_total"], collective=True))
+        return phases
 
     # ------------------------------------------------------------------ #
     def run(self, a: np.ndarray, b: np.ndarray, num_procs: Optional[int] = None) -> np.ndarray:

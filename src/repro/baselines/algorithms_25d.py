@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baselines.base import BaselineAlgorithm, BaselineResult
+from repro.baselines.base import BaselineAlgorithm, BaselinePhase, BaselineResult
 from repro.collectives.models import allreduce_time, broadcast_time
 from repro.core.cost_model import CostModel
 from repro.topology.machines import MachineSpec
@@ -41,9 +41,9 @@ class TwoAndHalfD(BaselineAlgorithm):
         per_layer = num_devices // self.replication
         return max(1, int(math.isqrt(per_layer)))
 
-    # ------------------------------------------------------------------ #
-    def simulate(self, m: int, n: int, k: int, machine: MachineSpec,
-                 itemsize: int = 4) -> BaselineResult:
+    def _terms(self, m: int, n: int, k: int, machine: MachineSpec,
+               itemsize: int) -> dict:
+        """Per-step model terms shared by the closed form and the event trace."""
         p = machine.num_devices
         c = self.replication
         side = self._layer_side(p)
@@ -62,30 +62,57 @@ class TwoAndHalfD(BaselineAlgorithm):
             broadcast_time(machine, row_group, b_panel_bytes),
         )
         gemm_step = cost_model.gemm_time(m_local, n_local, panel, itemsize)
-        per_step = self._combine(gemm_step, comm_step)
-        layer_total = per_step * steps_per_layer
 
         reduce_bytes = m_local * n_local * itemsize
         layer_peers = list(range(0, p, side * side))[:c] if c > 1 else [0]
         reduce_total = allreduce_time(machine, layer_peers, reduce_bytes) if c > 1 else 0.0
+        return dict(p=p, c=c, side=side, steps_per_layer=steps_per_layer,
+                    a_panel_bytes=a_panel_bytes, b_panel_bytes=b_panel_bytes,
+                    comm_step=comm_step, gemm_step=gemm_step,
+                    reduce_bytes=reduce_bytes, reduce_total=reduce_total)
 
-        total = layer_total + reduce_total
+    # ------------------------------------------------------------------ #
+    def simulate(self, m: int, n: int, k: int, machine: MachineSpec,
+                 itemsize: int = 4) -> BaselineResult:
+        t = self._terms(m, n, k, machine, itemsize)
+        c, side, steps_per_layer = t["c"], t["side"], t["steps_per_layer"]
+        per_step = self._combine(t["gemm_step"], t["comm_step"])
+        layer_total = per_step * steps_per_layer
+
+        total = layer_total + t["reduce_total"]
         # Ring all-reduce across the c layers moves ~2 (c-1)/c of the block per rank.
-        reduce_traffic_per_rank = 2.0 * (c - 1) / c * reduce_bytes if c > 1 else 0.0
+        reduce_traffic_per_rank = 2.0 * (c - 1) / c * t["reduce_bytes"] if c > 1 else 0.0
         return self._result(
             machine, m, n, k,
-            compute_time=gemm_step * steps_per_layer,
-            communication_time=comm_step * steps_per_layer + reduce_total,
+            compute_time=t["gemm_step"] * steps_per_layer,
+            communication_time=t["comm_step"] * steps_per_layer + t["reduce_total"],
             total_time=total,
             communication_bytes=int(
-                (a_panel_bytes + b_panel_bytes) * steps_per_layer * p
-                + reduce_traffic_per_rank * p
+                (t["a_panel_bytes"] + t["b_panel_bytes"]) * steps_per_layer * t["p"]
+                + reduce_traffic_per_rank * t["p"]
             ),
             replication=c,
             layer_grid=f"{side}x{side}",
             steps_per_layer=steps_per_layer,
             devices_used=side * side * c,
         )
+
+    def num_active_devices(self, m: int, n: int, k: int, machine: MachineSpec,
+                           itemsize: int = 4) -> int:
+        side = self._layer_side(machine.num_devices)
+        return side * side * self.replication
+
+    def phases(self, m: int, n: int, k: int, machine: MachineSpec,
+               itemsize: int = 4) -> list:
+        """Each layer's share of SUMMA panel updates, then the layer all-reduce."""
+        t = self._terms(m, n, k, machine, itemsize)
+        phases = [BaselinePhase(label="panel-update", compute=t["gemm_step"],
+                                comm=t["comm_step"], overlap=self.overlap,
+                                repeat=t["steps_per_layer"], collective=True)]
+        if t["reduce_total"] > 0.0:
+            phases.append(BaselinePhase(label="layer-allreduce",
+                                        comm=t["reduce_total"], collective=True))
+        return phases
 
     # ------------------------------------------------------------------ #
     def run(self, a: np.ndarray, b: np.ndarray, num_procs: Optional[int] = None) -> np.ndarray:

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baselines.base import BaselineAlgorithm, BaselineResult
+from repro.baselines.base import BaselineAlgorithm, BaselinePhase, BaselineResult
 from repro.core.cost_model import CostModel
 from repro.topology.machines import MachineSpec
 from repro.util.indexing import block_bounds
@@ -48,11 +48,10 @@ class Cannon(BaselineAlgorithm):
             )
         return side
 
-    # ------------------------------------------------------------------ #
-    def simulate(self, m: int, n: int, k: int, machine: MachineSpec,
-                 itemsize: int = 4) -> BaselineResult:
+    def _terms(self, m: int, n: int, k: int, machine: MachineSpec,
+               itemsize: int) -> dict:
+        """Per-step model terms shared by the closed form and the event trace."""
         side = self._side(machine.num_devices)
-        used_devices = side * side
         cost_model = CostModel(machine)
         m_local = -(-m // side)
         n_local = -(-n // side)
@@ -66,6 +65,15 @@ class Cannon(BaselineAlgorithm):
         shift_step = (
             latency + (a_block_bytes + b_block_bytes) / bandwidth if side > 1 else 0.0
         )
+        return dict(side=side, gemm_step=gemm_step, shift_step=shift_step,
+                    a_block_bytes=a_block_bytes, b_block_bytes=b_block_bytes)
+
+    # ------------------------------------------------------------------ #
+    def simulate(self, m: int, n: int, k: int, machine: MachineSpec,
+                 itemsize: int = 4) -> BaselineResult:
+        t = self._terms(m, n, k, machine, itemsize)
+        side, gemm_step, shift_step = t["side"], t["gemm_step"], t["shift_step"]
+        used_devices = side * side
         skew = shift_step  # initial alignment, one rotation's worth
 
         per_step = self._combine(gemm_step, shift_step)
@@ -73,19 +81,37 @@ class Cannon(BaselineAlgorithm):
 
         # Percent of peak is reported against the whole machine even though
         # only side*side devices participate, mirroring how a user would see it.
-        flops = 2.0 * m * n * k
         result = self._result(
             machine, m, n, k,
             compute_time=gemm_step * side,
             communication_time=skew + shift_step * (side - 1),
             total_time=total,
-            communication_bytes=(a_block_bytes + b_block_bytes) * side * used_devices,
+            communication_bytes=(t["a_block_bytes"] + t["b_block_bytes"])
+            * side * used_devices,
             grid=f"{side}x{side}",
             devices_used=used_devices,
         )
         result.metadata["idle_devices"] = machine.num_devices - used_devices
-        del flops
         return result
+
+    def num_active_devices(self, m: int, n: int, k: int, machine: MachineSpec,
+                           itemsize: int = 4) -> int:
+        side = self._side(machine.num_devices)
+        return side * side
+
+    def phases(self, m: int, n: int, k: int, machine: MachineSpec,
+               itemsize: int = 4) -> list:
+        """Initial skew, ``side - 1`` multiply+rotate steps, one final multiply."""
+        t = self._terms(m, n, k, machine, itemsize)
+        side, gemm_step, shift_step = t["side"], t["gemm_step"], t["shift_step"]
+        if side <= 1:
+            return [BaselinePhase(label="multiply", compute=gemm_step)]
+        return [
+            BaselinePhase(label="skew", comm=shift_step),
+            BaselinePhase(label="multiply-rotate", compute=gemm_step,
+                          comm=shift_step, overlap=self.overlap, repeat=side - 1),
+            BaselinePhase(label="final-multiply", compute=gemm_step),
+        ]
 
     # ------------------------------------------------------------------ #
     def run(self, a: np.ndarray, b: np.ndarray, num_procs: Optional[int] = None) -> np.ndarray:

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.baselines.base import BaselineAlgorithm, BaselineResult
+from repro.baselines.base import BaselineAlgorithm, BaselinePhase, BaselineResult
 from repro.core.cost_model import CostModel
 from repro.topology.machines import MachineSpec
 from repro.util.indexing import block_bounds
@@ -28,9 +28,9 @@ class OneDRing(BaselineAlgorithm):
     def __init__(self, overlap: bool = True) -> None:
         self.overlap = overlap
 
-    # ------------------------------------------------------------------ #
-    def simulate(self, m: int, n: int, k: int, machine: MachineSpec,
-                 itemsize: int = 4) -> BaselineResult:
+    def _terms(self, m: int, n: int, k: int, machine: MachineSpec,
+               itemsize: int) -> dict:
+        """Per-step model terms shared by the closed form and the event trace."""
         p = machine.num_devices
         cost_model = CostModel(machine)
         m_local = -(-m // p)
@@ -43,7 +43,14 @@ class OneDRing(BaselineAlgorithm):
         latency = max(machine.topology.latency(0, dst) for dst in range(p) if dst != 0) \
             if p > 1 else 0.0
         shift_step = latency + shift_bytes / bandwidth if p > 1 else 0.0
+        return dict(p=p, gemm_step=gemm_step, shift_step=shift_step,
+                    shift_bytes=shift_bytes)
 
+    # ------------------------------------------------------------------ #
+    def simulate(self, m: int, n: int, k: int, machine: MachineSpec,
+                 itemsize: int = 4) -> BaselineResult:
+        t = self._terms(m, n, k, machine, itemsize)
+        p, gemm_step, shift_step = t["p"], t["gemm_step"], t["shift_step"]
         per_step = self._combine(gemm_step, shift_step)
         # The final step needs no shift.
         total = per_step * (p - 1) + gemm_step if p > 1 else gemm_step
@@ -54,9 +61,22 @@ class OneDRing(BaselineAlgorithm):
             compute_time=compute,
             communication_time=communication,
             total_time=total,
-            communication_bytes=shift_bytes * (p - 1) * p,
+            communication_bytes=t["shift_bytes"] * (p - 1) * p,
             steps=p,
         )
+
+    def phases(self, m: int, n: int, k: int, machine: MachineSpec,
+               itemsize: int = 4) -> list:
+        """``p - 1`` multiply+shift steps and one final multiply (no shift)."""
+        t = self._terms(m, n, k, machine, itemsize)
+        p, gemm_step, shift_step = t["p"], t["gemm_step"], t["shift_step"]
+        if p <= 1:
+            return [BaselinePhase(label="multiply", compute=gemm_step)]
+        return [
+            BaselinePhase(label="multiply-shift", compute=gemm_step,
+                          comm=shift_step, overlap=self.overlap, repeat=p - 1),
+            BaselinePhase(label="final-multiply", compute=gemm_step),
+        ]
 
     # ------------------------------------------------------------------ #
     def run(self, a: np.ndarray, b: np.ndarray, num_procs: Optional[int] = None) -> np.ndarray:

@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.base import BaselineAlgorithm, BaselineResult
+from repro.baselines.base import BaselineAlgorithm, BaselinePhase, BaselineResult
 from repro.collectives.models import broadcast_time
 from repro.core.cost_model import CostModel
 from repro.dist.process_grid import near_square_factors
@@ -48,9 +48,9 @@ class Summa(BaselineAlgorithm):
             return rows, cols
         return near_square_factors(num_devices)
 
-    # ------------------------------------------------------------------ #
-    def simulate(self, m: int, n: int, k: int, machine: MachineSpec,
-                 itemsize: int = 4) -> BaselineResult:
+    def _terms(self, m: int, n: int, k: int, machine: MachineSpec,
+               itemsize: int) -> dict:
+        """Per-step model terms shared by the closed form and the event trace."""
         pr, pc = self._grid(machine.num_devices)
         cost_model = CostModel(machine)
         m_local = -(-m // pr)
@@ -67,19 +67,37 @@ class Summa(BaselineAlgorithm):
             broadcast_time(machine, col_group, b_panel_bytes),
         )
         gemm_step = cost_model.gemm_time(m_local, n_local, panel, itemsize)
-        per_step = self._combine(gemm_step, comm_step)
+        return dict(pr=pr, pc=pc, panel=panel, steps=steps,
+                    a_panel_bytes=a_panel_bytes, b_panel_bytes=b_panel_bytes,
+                    comm_step=comm_step, gemm_step=gemm_step)
+
+    # ------------------------------------------------------------------ #
+    def simulate(self, m: int, n: int, k: int, machine: MachineSpec,
+                 itemsize: int = 4) -> BaselineResult:
+        t = self._terms(m, n, k, machine, itemsize)
+        pr, pc, steps = t["pr"], t["pc"], t["steps"]
+        per_step = self._combine(t["gemm_step"], t["comm_step"])
         total = per_step * steps
         return self._result(
             machine, m, n, k,
-            compute_time=gemm_step * steps,
-            communication_time=comm_step * steps,
+            compute_time=t["gemm_step"] * steps,
+            communication_time=t["comm_step"] * steps,
             total_time=total,
-            communication_bytes=(a_panel_bytes * (pc - 1) + b_panel_bytes * (pr - 1))
+            communication_bytes=(t["a_panel_bytes"] * (pc - 1)
+                                 + t["b_panel_bytes"] * (pr - 1))
             * steps * machine.num_devices // max(pr, pc),
             grid=f"{pr}x{pc}",
             steps=steps,
-            panel_width=panel,
+            panel_width=t["panel"],
         )
+
+    def phases(self, m: int, n: int, k: int, machine: MachineSpec,
+               itemsize: int = 4) -> list:
+        """``steps`` identical panel updates: broadcast the panels, rank-kb update."""
+        t = self._terms(m, n, k, machine, itemsize)
+        return [BaselinePhase(label="panel-update", compute=t["gemm_step"],
+                              comm=t["comm_step"], overlap=self.overlap,
+                              repeat=t["steps"], collective=True)]
 
     # ------------------------------------------------------------------ #
     def run(self, a: np.ndarray, b: np.ndarray, num_procs: Optional[int] = None) -> np.ndarray:

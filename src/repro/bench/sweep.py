@@ -11,6 +11,7 @@ highest performance."
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -114,6 +115,13 @@ def run_ua_point(
     )
 
 
+def _run_ua_point_task(task: Tuple) -> SweepPoint:
+    """Module-level adapter so sweep configurations pickle into worker processes."""
+    machine, workload, scheme, replication, stationary, config = task
+    return run_ua_point(machine, workload, scheme, replication=replication,
+                        stationary=stationary, config=config)
+
+
 def run_ua_sweep(
     machine: MachineSpec,
     workloads: Sequence[Workload],
@@ -122,31 +130,34 @@ def run_ua_sweep(
     mixed_output_replication: bool = False,
     stationary_options: Sequence[str] = ("A", "B", "C"),
     config: Optional[ExecutionConfig] = None,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Run every (workload, scheme, replication, stationary) combination.
 
     ``mixed_output_replication=True`` additionally sweeps the C replication
     factor independently of A/B (the paper's MLP-2 configurations annotate
     "rep_AB-rep_C" pairs); otherwise one factor is applied to all matrices.
+
+    ``jobs`` fans the configurations over a process pool (each point's
+    simulation is side-effect-free through the event engine, so points are
+    embarrassingly parallel).  The default (``None``/``0``/``1``) runs
+    serially; results are returned in enumeration order either way.
     """
     schemes = list(schemes) if schemes is not None else ua_schemes()
     factors = valid_replication_factors(machine.num_devices, replication_factors)
-    points: List[SweepPoint] = []
+    tasks: List[Tuple] = []
     for workload in workloads:
         for scheme in schemes:
             for factor in factors:
                 c_factors = factors if mixed_output_replication else [factor]
                 for c_factor in c_factors:
                     for stationary in stationary_options:
-                        points.append(
-                            run_ua_point(
-                                machine, workload, scheme,
-                                replication=(factor, factor, c_factor),
-                                stationary=stationary,
-                                config=config,
-                            )
-                        )
-    return points
+                        tasks.append((machine, workload, scheme,
+                                      (factor, factor, c_factor), stationary, config))
+    if jobs is None or jobs <= 1 or len(tasks) <= 1:
+        return [_run_ua_point_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        return list(pool.map(_run_ua_point_task, tasks, chunksize=4))
 
 
 def best_per_scheme(points: Iterable[SweepPoint]) -> List[SweepPoint]:

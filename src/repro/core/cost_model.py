@@ -16,14 +16,22 @@ The same model serves three purposes in this library:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.topology.machines import MachineSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import ExecutionConfig
     from repro.core.ops import LocalMatmulOp
     from repro.dist.matrix import DistributedMatrix
+
+#: Version of the pricing rules below.  Bump whenever a formula, calibration
+#: constant, or engine discipline changes in a way that can move simulated
+#: times: the persistent plan store invalidates entries stamped with a
+#: different fingerprint, so stale plans are never served after a model change.
+COST_MODEL_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -62,6 +70,25 @@ class CostModel:
         self.machine = machine
         self.topology = machine.topology
         self.shape_model = shape_model or GemmShapeModel()
+
+    def fingerprint(self) -> str:
+        """Stable digest of the pricing rules (version + calibration constants).
+
+        Deliberately excludes the machine: plan-cache keys already carry the
+        machine fingerprint, while this digest answers a different question —
+        "were these cached times produced by the same cost model build?" —
+        which is what the persistent plan store checks on load.
+        """
+        blob = "|".join(
+            repr(part)
+            for part in (
+                COST_MODEL_VERSION,
+                self.shape_model.m_half,
+                self.shape_model.n_half,
+                self.shape_model.k_half,
+            )
+        )
+        return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:12]
 
     # ------------------------------------------------------------------ #
     # compute
@@ -246,6 +273,53 @@ class CostModel:
             for d in range(num_devices)
         )
         return max(per_device, default=0.0)
+
+    def critical_path_lower_bound(
+        self,
+        a: "DistributedMatrix",
+        b: "DistributedMatrix",
+        c: "DistributedMatrix",
+        per_rank_ops: Mapping[int, Sequence["LocalMatmulOp"]],
+        config: Optional["ExecutionConfig"] = None,
+    ) -> float:
+        """A critical-path lower bound on the direct executor's makespan.
+
+        Replays the executor's exact event stream — same ops, same order,
+        same per-rank fetch/gemm/accumulate dependency chains and engine
+        queues — on a *relaxed* engine with every cross-device floor (egress
+        slots, ingress slots, link occupancy) removed.  Every constraint the
+        relaxed engine enforces is also enforced by the contended engine on
+        the identical emission sequence, so by induction every relaxed event
+        starts (and ends) no later than its contended counterpart and the
+        relaxed makespan is admissible.
+
+        Unlike :meth:`direct_lower_bound`, which sees each engine's summed
+        occupancy in isolation, the relaxed schedule sees cross-engine
+        dependency chains — a rank that must *fetch before it can GEMM before
+        it can accumulate* pays the chain even when no single engine is
+        saturated — which makes this bound strictly tighter on
+        communication-bound problems.  The per-engine occupancy bound is
+        still taken as a floor (it can win when contention terms the relaxed
+        engine drops, e.g. many-to-one ingress fan-in, dominate).
+
+        ``per_rank_ops`` must be in *execution* order: apply the iteration
+        offset before calling when the config enables it, exactly as
+        :func:`repro.core.matmul.universal_matmul` does.
+        """
+        from repro.core.config import ExecutionConfig
+        from repro.core.direct import DirectExecutor
+        from repro.sim.engine import EventEngine
+
+        config = config or ExecutionConfig(simulate_only=True)
+        if not config.simulate_only:
+            config = config.evolve(simulate_only=True)
+        engine = EventEngine(self.machine.num_devices, contention=False)
+        executor = DirectExecutor(a, b, c, self, config=config, engine=engine)
+        executor.execute({rank: list(ops) for rank, ops in per_rank_ops.items()})
+        occupancy = self.direct_lower_bound(
+            a, b, c, per_rank_ops, cache_remote_tiles=config.cache_remote_tiles
+        )
+        return max(engine.makespan(), occupancy)
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -10,17 +10,23 @@ The direct executor walks each rank's op list in order and, for every op,
 
 Two things happen at once here: the *data* path really moves NumPy buffers
 through the PGAS runtime (so results are bit-exact checkable against
-``A @ B``), and the *time* path charges every fetch, GEMM, and accumulate to
-the machine model's per-device engines and links.  The interleaved,
-step-by-step walk over ranks makes contention for shared links emerge
-naturally, which is exactly the effect the paper's iteration offset exists to
-mitigate.
+``A @ B``), and the *time* path emits typed fetch/gemm/accumulate events to
+the :class:`~repro.sim.engine.EventEngine`, which owns every engine timeline
+and all link contention.  The interleaved, step-by-step walk over ranks makes
+contention for shared links emerge naturally, which is exactly the effect the
+paper's iteration offset exists to mitigate.
+
+This class is a *front-end*: it decides what happens and in which order, but
+never charges time itself.  Handing it a relaxed engine
+(``EventEngine(contention=False)``) therefore replays the identical event
+stream without cross-device floors — the relaxation behind the planner's
+critical-path lower bound.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,7 +35,9 @@ from repro.core.cost_model import CostModel
 from repro.core.ops import LocalMatmulOp
 from repro.core.result import RankStats
 from repro.dist.matrix import DistributedMatrix
-from repro.runtime.clock import ACCUMULATE, COMPUTE, COPY, EGRESS, INGRESS, SimClock
+from repro.runtime.clock import ACCUMULATE, COMPUTE, COPY
+from repro.sim.engine import EventEngine
+from repro.sim.events import ScheduledEvent
 from repro.util.logging import get_logger
 
 logger = get_logger("core.direct")
@@ -44,6 +52,7 @@ class _FetchedTile:
 
     data: np.ndarray
     ready_time: float
+    event: Optional[ScheduledEvent] = None
     from_pool: bool = False
 
 
@@ -56,9 +65,8 @@ class _RankState:
     next_prefetch: int = 0
     fetched: Dict[Tuple[str, int], _FetchedTile] = field(default_factory=dict)
     cache: Dict[Tuple[str, int, Tuple[int, int]], _FetchedTile] = field(default_factory=dict)
-    gemm_ends: List[float] = field(default_factory=list)
-    gemm_starts: List[float] = field(default_factory=list)
-    accumulate_ends: List[float] = field(default_factory=list)
+    gemm_events: List[ScheduledEvent] = field(default_factory=list)
+    accumulate_events: List[ScheduledEvent] = field(default_factory=list)
     stats: RankStats = None  # type: ignore[assignment]
 
 
@@ -72,6 +80,7 @@ class DirectExecutor:
         c: DistributedMatrix,
         cost_model: CostModel,
         config: Optional[ExecutionConfig] = None,
+        engine: Optional[EventEngine] = None,
     ) -> None:
         self.a = a
         self.b = b
@@ -79,7 +88,8 @@ class DirectExecutor:
         self.runtime = a.runtime
         self.cost_model = cost_model
         self.config = config or ExecutionConfig()
-        self.clock = SimClock(self.runtime.num_ranks)
+        self.engine = engine or EventEngine(self.runtime.num_ranks)
+        self.clock = self.engine.clock
 
     # ------------------------------------------------------------------ #
     # public API
@@ -112,7 +122,7 @@ class DirectExecutor:
             state.stats.finish_time = device.finish_time()
             self._release_all(state)
 
-        makespan = self.clock.makespan()
+        makespan = self.engine.makespan()
         return makespan, {rank: state.stats for rank, state in states.items()}
 
     # ------------------------------------------------------------------ #
@@ -124,9 +134,9 @@ class DirectExecutor:
 
         # Issue prefetches for this op (if not yet issued) and the lookahead window.
         horizon = index + config.prefetch_depth
-        issue_floor = state.gemm_starts[index - 1] if index > 0 else 0.0
+        issue_floor = state.gemm_events[index - 1].start if index > 0 else 0.0
         if not config.async_execution and index > 0:
-            issue_floor = max(issue_floor, state.accumulate_ends[index - 1])
+            issue_floor = max(issue_floor, state.accumulate_events[index - 1].end)
         while state.next_prefetch <= min(horizon, len(state.ops) - 1):
             self._issue_fetches(state, state.next_prefetch, issue_floor)
             state.next_prefetch += 1
@@ -146,22 +156,21 @@ class DirectExecutor:
             b_slice = b_tile.data[op.b.local.as_slices()]
             product = a_slice @ b_slice
 
-        earliest = max(a_tile.ready_time, b_tile.ready_time)
+        gemm_deps: List[Optional[ScheduledEvent]] = [a_tile.event, b_tile.event]
         if config.async_execution:
             window = config.max_concurrent_accumulates
             if index >= window:
-                earliest = max(earliest, state.accumulate_ends[index - window])
+                gemm_deps.append(state.accumulate_events[index - window])
             gemm_window = config.max_concurrent_gemms
             if index >= gemm_window:
-                earliest = max(earliest, state.gemm_ends[index - gemm_window])
+                gemm_deps.append(state.gemm_events[index - gemm_window])
         elif index > 0:
-            earliest = max(earliest, state.accumulate_ends[index - 1])
+            gemm_deps.append(state.accumulate_events[index - 1])
 
         gemm_duration = self.cost_model.op_compute_time(op)
-        device = self.clock.device(state.rank)
-        gemm_start, gemm_end = device.reserve(COMPUTE, gemm_duration, earliest, label="gemm")
-        state.gemm_starts.append(gemm_start)
-        state.gemm_ends.append(gemm_end)
+        gemm_event = self.engine.gemm(state.rank, gemm_duration, deps=gemm_deps,
+                                      label="gemm")
+        state.gemm_events.append(gemm_event)
         state.stats.flops += op.flops
 
         # ----- accumulate into C -----------------------------------------
@@ -176,30 +185,30 @@ class DirectExecutor:
                 )
             duration = self.cost_model.accumulate_time(state.rank, op.c.owner, op.c_bytes)
             occupancy = self.cost_model.device_link_time(op.c_bytes, accumulate=True)
-            destination = self.clock.device(op.c.owner)
             # The accumulate cannot start before the producing GEMM finished,
             # before the initiator's own accumulate queue drains, and it must
             # find a free slot in the destination's shared ingress capacity
-            # (many-to-one fan-in serialises there).
-            earliest_acc = max(gemm_end, device.available_at(ACCUMULATE))
-            start = destination.find_slot(INGRESS, occupancy, earliest_acc)
-            destination.reserve_slot(INGRESS, occupancy, start, label="accumulate-ingress")
-            self.clock.reserve_link(state.rank, op.c.owner, duration, start)
-            _, acc_end = device.reserve(ACCUMULATE, duration, start, label="accumulate")
-            interference = self.cost_model.machine.accumulate_compute_interference
-            if interference > 0.0:
-                # The accumulate kernel steals compute resources while it runs
-                # (observed by the paper on H100).
-                device.reserve(COMPUTE, duration * interference, start,
-                               label="accumulate-interference")
+            # (many-to-one fan-in serialises there).  The engine owns all of
+            # that — including the compute interference the paper observes.
+            acc_event = self.engine.accumulate(
+                state.rank,
+                duration,
+                dst=op.c.owner,
+                occupancy=occupancy,
+                interference=self.cost_model.machine.accumulate_compute_interference,
+                deps=(gemm_event,),
+                label="accumulate",
+            )
             state.stats.remote_accumulate_bytes += op.c_bytes
         else:
             if not config.simulate_only:
                 c_view = self.c.tile(op.c.index, op.c.replica, rank=state.rank)
                 c_view[op.c.local.as_slices()] += product
             duration = self.cost_model.local_accumulate_time(op.c_bytes)
-            _, acc_end = device.reserve(COMPUTE, duration, gemm_end, label="local-accumulate")
-        state.accumulate_ends.append(acc_end)
+            acc_event = self.engine.local_accumulate(
+                state.rank, duration, deps=(gemm_event,), label="local-accumulate"
+            )
+        state.accumulate_events.append(acc_event)
 
         self._maybe_release(state, a_tile)
         self._maybe_release(state, b_tile)
@@ -239,29 +248,34 @@ class DirectExecutor:
         nbytes = matrix.tile_bounds(tile_idx).size * matrix.dtype.itemsize
         duration = self.cost_model.transfer_time(owner, rank, nbytes)
         occupancy = self.cost_model.device_link_time(nbytes)
-        device = self.clock.device(rank)
-        source = self.clock.device(owner)
         # The fetch starts once the reader's own copy queue (its ingress
         # bandwidth, processed in program order) is free, and must find an
         # idle slot in the owner's shared egress capacity — one-to-many tile
-        # fan-out serialises there.
-        earliest = max(earliest, device.available_at(COPY))
-        start = source.find_slot(EGRESS, occupancy, earliest)
-        source.reserve_slot(EGRESS, occupancy, start, label=f"get-egress:{matrix_key}")
-        self.clock.reserve_link(owner, rank, duration, start)
-        _, ready = device.reserve(COPY, duration, start, label=f"get:{matrix_key}{tile_idx}")
+        # fan-out serialises there.  Both disciplines live in the engine.
+        event = self.engine.fetch(
+            rank,
+            duration,
+            src=owner,
+            occupancy=occupancy,
+            min_start=earliest,
+            label=f"get:{matrix_key}{tile_idx}",
+        )
+        ready = event.end
         state.stats.remote_get_bytes += nbytes
 
         if simulate_only:
-            fetched = _FetchedTile(data=None, ready_time=ready, from_pool=False)
+            fetched = _FetchedTile(data=None, ready_time=ready, event=event,
+                                   from_pool=False)
         elif self.config.use_memory_pool:
             pool = self.runtime.pool(rank)
             buffer = pool.acquire(matrix.tile_bounds(tile_idx).shape, matrix.dtype)
             data = matrix.get_tile(tile_idx, replica, initiator=rank, out=buffer)
-            fetched = _FetchedTile(data=data, ready_time=ready, from_pool=True)
+            fetched = _FetchedTile(data=data, ready_time=ready, event=event,
+                                   from_pool=True)
         else:
             data = matrix.get_tile(tile_idx, replica, initiator=rank)
-            fetched = _FetchedTile(data=data, ready_time=ready, from_pool=False)
+            fetched = _FetchedTile(data=data, ready_time=ready, event=event,
+                                   from_pool=False)
 
         if self.config.cache_remote_tiles:
             state.cache[cache_key] = fetched

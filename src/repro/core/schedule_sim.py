@@ -1,16 +1,19 @@
 """Execution and time-estimation of IR programs.
 
-Each IR step overlaps its communication with its computation: the step's
-duration is the maximum of the two (plus the step's remote-accumulate time on
-its own engine).  Steps are separated by explicit synchronisation, which is
-the defining difference from the free-running direct executor.
+Each IR step overlaps its communication with its computation: the step emits
+one aggregate fetch event, one compute event, and one accumulate event, all
+gated on the previous step's sync barrier, then joins them with a new sync —
+so the step's duration is the maximum of the three.  The explicit per-step
+synchronisation is the defining difference from the free-running direct
+executor; both now price through the same
+:class:`~repro.sim.engine.EventEngine`.
 
 Two entry points:
 
 * :func:`estimate_program_time` — pure cost-model estimate of one rank's
   program, used inside the exhaustive-search lowering.
 * :class:`IRExecutor` — executes the programs of all ranks (real data
-  movement + modelled time), the IR-mode counterpart of
+  movement + event emission), the IR-mode counterpart of
   :class:`repro.core.direct.DirectExecutor`.
 """
 
@@ -27,6 +30,8 @@ from repro.core.ir import IRProgram
 from repro.core.ops import LocalMatmulOp
 from repro.core.result import RankStats
 from repro.dist.matrix import DistributedMatrix
+from repro.sim.engine import EventEngine
+from repro.sim.events import ScheduledEvent
 from repro.util.validation import SchedulingError
 
 
@@ -63,6 +68,7 @@ class IRExecutor:
         c: DistributedMatrix,
         cost_model: CostModel,
         config: Optional[ExecutionConfig] = None,
+        engine: Optional[EventEngine] = None,
     ) -> None:
         self.a = a
         self.b = b
@@ -70,6 +76,7 @@ class IRExecutor:
         self.runtime = a.runtime
         self.cost_model = cost_model
         self.config = config or ExecutionConfig()
+        self.engine = engine or EventEngine(self.runtime.num_ranks)
 
     # ------------------------------------------------------------------ #
     def execute(
@@ -95,7 +102,6 @@ class IRExecutor:
     ) -> Tuple[float, RankStats]:
         rank_stats = RankStats(rank=rank, num_ops=len(ops))
         local_tiles: Dict[DataKey, np.ndarray] = {}
-        elapsed = 0.0
         simulate_only = self.config.simulate_only
 
         matrices = {"A": self.a, "B": self.b}
@@ -114,7 +120,8 @@ class IRExecutor:
                 f"rank {rank} needs tile {key} but it was never fetched by the IR program"
             )
 
-        for step in program.steps:
+        barrier: Optional[ScheduledEvent] = None
+        for step_index, step in enumerate(program.steps):
             comm_time = 0.0
             for comm in step.comms:
                 name, replica, tile_idx = comm.data
@@ -165,7 +172,29 @@ class IRExecutor:
             rank_stats.compute_time += compute_time
             rank_stats.copy_time += comm_time
             rank_stats.accumulate_time += accumulate_time
-            elapsed += max(comm_time, compute_time, accumulate_time)
 
+            # One aggregate event per activity, all gated on the previous
+            # step's barrier; the IR never models cross-rank contention, so
+            # transfers are charged to the rank's own copy queue only.
+            step_events: List[Optional[ScheduledEvent]] = []
+            deps = (barrier,)
+            if comm_time > 0.0:
+                step_events.append(self.engine.fetch(
+                    rank, comm_time, deps=deps, label=f"ir-comm:step{step_index}"
+                ))
+            if compute_time > 0.0:
+                step_events.append(self.engine.gemm(
+                    rank, compute_time, deps=deps, label=f"ir-compute:step{step_index}"
+                ))
+            if accumulate_time > 0.0:
+                step_events.append(self.engine.accumulate(
+                    rank, accumulate_time, deps=deps,
+                    label=f"ir-accumulate:step{step_index}"
+                ))
+            if step_events:
+                barrier = self.engine.sync(rank, deps=step_events + [barrier],
+                                           label=f"ir-sync:step{step_index}")
+
+        elapsed = barrier.end if barrier is not None else 0.0
         rank_stats.finish_time = elapsed
         return elapsed, rank_stats

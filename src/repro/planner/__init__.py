@@ -22,6 +22,8 @@ callers get the pruned search transparently.
 
 from repro.planner.cache import CacheStats, PlanCache, PlanEntry
 from repro.planner.search import (
+    BOUND_CRITICAL_PATH,
+    BOUND_OCCUPANCY,
     Candidate,
     SearchStats,
     candidate_lower_bound,
@@ -39,6 +41,8 @@ from repro.planner.signature import (
 )
 
 __all__ = [
+    "BOUND_CRITICAL_PATH",
+    "BOUND_OCCUPANCY",
     "CacheStats",
     "PlanCache",
     "PlanEntry",

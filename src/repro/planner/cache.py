@@ -10,6 +10,13 @@ The JSON store gives warm starts across processes: a service can
 at boot, skipping every simulation for previously planned signatures.
 Entries referencing partitioning schemes unknown to this build (e.g. a store
 written by a newer version) are skipped rather than failing the load.
+
+Plans are only as good as the cost model that priced them, so entries are
+stamped with a **cost-model fingerprint**
+(:meth:`repro.core.cost_model.CostModel.fingerprint`).  Loading with an
+expected fingerprint silently drops entries stamped differently (or not at
+all): after a pricing change, stale plans invalidate themselves instead of
+being served.
 """
 
 from __future__ import annotations
@@ -26,8 +33,10 @@ from repro.bench.schemes import scheme_by_name
 from repro.bench.selector import PartitioningRecommendation
 from repro.bench.workloads import Workload
 
-#: Schema version of the persistent plan store.
-STORE_VERSION = 1
+#: Schema version of the persistent plan store.  Version 2 added the
+#: cost-model fingerprint stamps; version-1 stores predate them and are
+#: treated as entirely stale.
+STORE_VERSION = 2
 
 
 def recommendation_to_dict(rec: PartitioningRecommendation) -> Dict[str, object]:
@@ -64,6 +73,10 @@ class PlanEntry:
     workload: Optional[Workload] = None
     num_simulated: int = 0
     num_pruned: int = 0
+    #: Digest of the cost model that priced this plan
+    #: (:meth:`repro.core.cost_model.CostModel.fingerprint`); ``None`` for
+    #: entries built outside a service context.
+    fingerprint: Optional[str] = None
 
     @property
     def best(self) -> PartitioningRecommendation:
@@ -75,11 +88,13 @@ class PlanEntry:
             "workload": self.workload.to_dict() if self.workload is not None else None,
             "num_simulated": self.num_simulated,
             "num_pruned": self.num_pruned,
+            "fingerprint": self.fingerprint,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "PlanEntry":
         workload = payload.get("workload")
+        fingerprint = payload.get("fingerprint")
         return cls(
             recommendations=[
                 recommendation_from_dict(item) for item in payload["recommendations"]  # type: ignore[union-attr]
@@ -87,6 +102,7 @@ class PlanEntry:
             workload=Workload.from_dict(workload) if workload else None,  # type: ignore[arg-type]
             num_simulated=int(payload.get("num_simulated", 0)),  # type: ignore[arg-type]
             num_pruned=int(payload.get("num_pruned", 0)),  # type: ignore[arg-type]
+            fingerprint=str(fingerprint) if fingerprint is not None else None,
         )
 
 
@@ -202,11 +218,16 @@ class PlanCache:
             raise
         return path
 
-    def load(self, path: str) -> int:
+    def load(self, path: str, fingerprint: Optional[str] = None) -> int:
         """Merge entries from a JSON store; returns how many were loaded.
 
         Missing files, version mismatches, and malformed/unknown-scheme
         entries are tolerated (a cold cache is always a safe fallback).
+
+        When ``fingerprint`` is given (the serving cost model's digest),
+        entries stamped with a *different* fingerprint — or none at all — are
+        stale and silently skipped: a cached plan priced by an older cost
+        model must not be served as if it were current.
         """
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -223,6 +244,8 @@ class PlanCache:
             except (KeyError, TypeError, ValueError):
                 continue
             if not entry.recommendations:
+                continue
+            if fingerprint is not None and entry.fingerprint != fingerprint:
                 continue
             self.put(str(key), entry)
             loaded += 1

@@ -22,6 +22,7 @@ back to exhaustive automatically.
 from __future__ import annotations
 
 import bisect
+import heapq
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -33,7 +34,7 @@ from repro.bench.workloads import Workload
 from repro.core.config import ExecutionConfig, ExecutionMode
 from repro.core.cost_model import CostModel
 from repro.core.matmul import model_reduce_time
-from repro.core.slicing import generate_all_ops
+from repro.core.slicing import apply_iteration_offset, generate_all_ops
 from repro.core.stationary import parse_stationary
 from repro.dist.matrix import DistributedMatrix
 from repro.runtime.runtime import Runtime
@@ -52,6 +53,14 @@ class Candidate:
     memory_per_device: int
 
 
+#: The engine-occupancy bound (PR 2): per-engine summed busy time.
+BOUND_OCCUPANCY = "occupancy"
+#: The event-DAG bound: relaxed-engine makespan, floored by occupancy.
+BOUND_CRITICAL_PATH = "critical_path"
+
+_BOUNDS = (BOUND_OCCUPANCY, BOUND_CRITICAL_PATH)
+
+
 @dataclass
 class SearchStats:
     """Bookkeeping for one search run (pruning effectiveness, timings)."""
@@ -60,7 +69,11 @@ class SearchStats:
     num_memory_rejected: int = 0
     num_simulated: int = 0
     num_pruned: int = 0
+    #: Candidates that survived the cheap occupancy gate and had the
+    #: expensive critical-path bound computed for them.
+    num_refined: int = 0
     pruning_enabled: bool = True
+    bound_name: str = BOUND_CRITICAL_PATH
     bound_seconds: float = 0.0
     simulate_seconds: float = 0.0
 
@@ -70,6 +83,7 @@ class SearchStats:
         self.num_memory_rejected += other.num_memory_rejected
         self.num_simulated += other.num_simulated
         self.num_pruned += other.num_pruned
+        self.num_refined += other.num_refined
         self.bound_seconds += other.bound_seconds
         self.simulate_seconds += other.simulate_seconds
 
@@ -148,22 +162,39 @@ def candidate_lower_bound(
     workload: Workload,
     candidate: Candidate,
     config: Optional[ExecutionConfig] = None,
+    bound: str = BOUND_CRITICAL_PATH,
 ) -> float:
-    """Admissible lower bound on the candidate's simulated time (no simulation).
+    """Admissible lower bound on the candidate's simulated time (no full simulation).
 
-    Generates the candidate's op lists (cheap) and sums per-engine occupancy
-    via :meth:`CostModel.direct_lower_bound`; the replica-reduction term the
-    simulator adds on top is modelled exactly, so the total stays a true
-    lower bound of :func:`repro.bench.sweep.run_ua_point`'s simulated time.
+    Generates the candidate's op lists and prices them with the requested
+    bound: :data:`BOUND_OCCUPANCY` sums per-engine occupancy
+    (:meth:`CostModel.direct_lower_bound`), while :data:`BOUND_CRITICAL_PATH`
+    replays the event stream on the relaxed contention-free engine
+    (:meth:`CostModel.critical_path_lower_bound`) — tighter on
+    communication-bound problems because it sees fetch-before-GEMM chains.
+    The replica-reduction term the simulator adds on top is modelled exactly,
+    so the total stays a true lower bound of
+    :func:`repro.bench.sweep.run_ua_point`'s simulated time.
     """
+    if bound not in _BOUNDS:
+        raise ValueError(f"unknown bound {bound!r}; available: {_BOUNDS}")
     config = config or ExecutionConfig(simulate_only=True)
     a, b, c = _symbolic_matrices(machine, workload, candidate)
     per_rank_ops = generate_all_ops(a, b, c, parse_stationary(candidate.stationary))
     cost_model = CostModel(machine)
-    bound = cost_model.direct_lower_bound(
-        a, b, c, per_rank_ops, cache_remote_tiles=config.cache_remote_tiles
-    )
-    return bound + model_reduce_time(c, cost_model)
+    if bound == BOUND_CRITICAL_PATH:
+        # The relaxed replay is order-sensitive: hand it the exact execution
+        # order, offset applied, as universal_matmul would run it.
+        if config.iteration_offset:
+            per_rank_ops = {
+                rank: apply_iteration_offset(ops) for rank, ops in per_rank_ops.items()
+            }
+        value = cost_model.critical_path_lower_bound(a, b, c, per_rank_ops, config)
+    else:
+        value = cost_model.direct_lower_bound(
+            a, b, c, per_rank_ops, cache_remote_tiles=config.cache_remote_tiles
+        )
+    return value + model_reduce_time(c, cost_model)
 
 
 def search_partitionings(
@@ -178,13 +209,28 @@ def search_partitionings(
     itemsize: int = 4,
     config: Optional[ExecutionConfig] = None,
     prune: bool = True,
+    bound: str = BOUND_CRITICAL_PATH,
 ) -> Tuple[List[PartitioningRecommendation], SearchStats]:
     """Search the design space; returns (ranked recommendations, search stats).
 
     With ``prune=False`` this is exactly the exhaustive selector.  With
     ``prune=True`` (and direct execution mode) the result is guaranteed
     identical while strictly fewer candidates are simulated whenever any
-    candidate's lower bound exceeds the eventual top-k threshold.
+    candidate's lower bound exceeds the eventual top-k threshold.  ``bound``
+    selects the pruning bound; both options are admissible, so the ranking is
+    identical under either — :data:`BOUND_CRITICAL_PATH` (the default) is
+    tighter on communication-bound problems and prunes more.
+
+    The bounds are staged by cost (lazy best-first refinement): the cheap
+    occupancy bound is computed eagerly for every candidate, and candidates
+    are visited through a min-heap keyed by their best-known bound.  When an
+    *unrefined* candidate reaches the top under the critical-path setting,
+    its expensive chain bound — a relaxed replay of the whole event stream,
+    nearly as expensive as simulating — is computed and the candidate is
+    pushed back; only candidates that surface again are simulated.  The visit
+    order therefore converges to the tight-bound order (strong incumbents
+    found early) while candidates prunable by the cheap bound never pay for
+    the expensive one.
     """
     if memory_budget_bytes is None:
         memory_budget_bytes = machine.memory_capacity
@@ -197,37 +243,57 @@ def search_partitionings(
         machine, workload, memory_budget_bytes, schemes, factors,
         stationary_options, itemsize,
     )
+    if bound not in _BOUNDS:
+        raise ValueError(f"unknown bound {bound!r}; available: {_BOUNDS}")
     prune = prune and config.mode is ExecutionMode.DIRECT
     stats = SearchStats(num_candidates=len(candidates), num_memory_rejected=rejected,
-                        pruning_enabled=prune)
+                        pruning_enabled=prune, bound_name=bound)
     if not candidates:
         raise ValueError(
             "no partitioning fits the per-device memory budget "
             f"({memory_budget_bytes / 1e9:.2f} GB)"
         )
 
+    by_index = {candidate.index: candidate for candidate in candidates}
     if prune:
         started = time.perf_counter()
-        bounds = {
-            candidate.index: candidate_lower_bound(machine, workload, candidate, config)
+        # Cheap bound for everyone; `False` marks the bound as not yet
+        # refined to the tight (expensive) one.  Heap order is (bound, index),
+        # so ties fall back to enumeration order, deterministically.
+        needs_refinement = bound == BOUND_CRITICAL_PATH
+        heap = [
+            (candidate_lower_bound(machine, workload, candidate,
+                                   config, BOUND_OCCUPANCY),
+             candidate.index, not needs_refinement)
             for candidate in candidates
-        }
+        ]
+        heapq.heapify(heap)
         stats.bound_seconds = time.perf_counter() - started
-        # Most promising first: a strong incumbent found early prunes the rest.
-        order = sorted(candidates, key=lambda cand: (bounds[cand.index], cand.index))
     else:
-        bounds = {}
-        order = candidates
+        heap = [(0.0, candidate.index, True) for candidate in candidates]
 
     results: List[Tuple[int, PartitioningRecommendation]] = []
     best_times: List[float] = []  # k smallest simulated times seen so far
     threshold = float("inf")
+    refine_seconds = 0.0
     started = time.perf_counter()
-    for candidate in order:
+    while heap:
+        value, index, refined = heapq.heappop(heap)
         # Strict inequality keeps ties simulated, which is what makes the
-        # pruned ranking provably identical to the exhaustive one.
-        if prune and bounds[candidate.index] > threshold:
-            stats.num_pruned += 1
+        # pruned ranking provably identical to the exhaustive one.  Every
+        # entry still in the heap carries an admissible bound >= this one,
+        # so once the smallest exceeds the threshold the rest follow.
+        if prune and value > threshold:
+            stats.num_pruned += 1 + len(heap)
+            break
+        candidate = by_index[index]
+        if prune and not refined:
+            refine_started = time.perf_counter()
+            tight = candidate_lower_bound(machine, workload, candidate,
+                                          config, BOUND_CRITICAL_PATH)
+            stats.num_refined += 1
+            refine_seconds += time.perf_counter() - refine_started
+            heapq.heappush(heap, (tight, index, True))
             continue
         point = run_ua_point(machine, workload, candidate.scheme,
                              candidate.replication, candidate.stationary, config)
@@ -249,7 +315,9 @@ def search_partitionings(
         del best_times[effective_k:]
         if len(best_times) == effective_k:
             threshold = best_times[-1]
-    stats.simulate_seconds = time.perf_counter() - started
+    # Refinements run inside the loop but are bound work, not simulation work.
+    stats.bound_seconds += refine_seconds
+    stats.simulate_seconds = time.perf_counter() - started - refine_seconds
 
     # Exhaustive order: percent-of-peak descending, enumeration order on ties.
     results.sort(key=lambda pair: (-pair[1].percent_of_peak, pair[0]))

@@ -34,6 +34,7 @@ from repro.bench.schemes import PartitioningScheme
 from repro.bench.selector import PartitioningRecommendation
 from repro.bench.workloads import Workload
 from repro.core.config import ExecutionConfig
+from repro.core.cost_model import CostModel
 from repro.planner.cache import PlanCache, PlanEntry
 from repro.planner.search import SearchStats, search_partitionings
 from repro.planner.signature import (
@@ -146,8 +147,14 @@ class PlannerService:
         # lookup, not an O(devices^2) hash per request.
         self._machine_digest = machine_fingerprint(machine)
         self._options_digests: Dict[int, str] = {}
+        # Plans are priced by the search's default cost model for this
+        # machine; its digest stamps every entry so a warm-start store written
+        # under a different pricing build invalidates itself on load.
+        self.cost_model_fingerprint = CostModel(machine).fingerprint()
         if store_path is not None:
-            self._stats.warm_start_entries = self.cache.load(store_path)
+            self._stats.warm_start_entries = self.cache.load(
+                store_path, fingerprint=self.cost_model_fingerprint
+            )
 
     # ------------------------------------------------------------------ #
     # signatures
@@ -256,7 +263,8 @@ class PlannerService:
             entry = PlanEntry(recommendations=recommendations,
                               workload=planning_workload,
                               num_simulated=search_stats.num_simulated,
-                              num_pruned=search_stats.num_pruned)
+                              num_pruned=search_stats.num_pruned,
+                              fingerprint=self.cost_model_fingerprint)
             self.cache.put(key, entry)
             flight.entry = entry
         except BaseException as error:

@@ -1,0 +1,31 @@
+"""repro.sim — the unified discrete-event simulation engine.
+
+Every time path in the library prices through this package: the direct
+executor and the IR executor emit typed events instead of charging clocks
+inline, the classical baselines emit event traces alongside their retained
+closed-form models, and the planner's critical-path pruning bound is the
+makespan of the same event stream scheduled on a relaxed (contention-free)
+engine.
+
+Quickstart — record a trace of a real execution::
+
+    from repro.sim import EventEngine, InMemoryTraceRecorder
+
+    recorder = InMemoryTraceRecorder()
+    engine = EventEngine(num_devices=rt.num_ranks, recorder=recorder)
+    executor = DirectExecutor(a, b, c, cost_model, config, engine=engine)
+    executor.execute(per_rank_ops)
+    recorder.dump_chrome_trace("matmul_trace.json")  # open in Perfetto
+"""
+
+from repro.sim.engine import EventEngine
+from repro.sim.events import EventKind, ScheduledEvent
+from repro.sim.trace import InMemoryTraceRecorder, TraceRecorder
+
+__all__ = [
+    "EventEngine",
+    "EventKind",
+    "ScheduledEvent",
+    "InMemoryTraceRecorder",
+    "TraceRecorder",
+]

@@ -131,3 +131,25 @@ class TestReporting:
         captured = capsys.readouterr()
         assert "Test Figure" in captured.out
         assert "DT - Row" in text
+
+
+class TestParallelSweep:
+    def test_jobs_parameter_preserves_results_and_order(self):
+        serial = run_ua_sweep(MACHINE, [SMALL_MLP1],
+                              schemes=[scheme_by_name("column"),
+                                       scheme_by_name("outer")])
+        parallel = run_ua_sweep(MACHINE, [SMALL_MLP1],
+                                schemes=[scheme_by_name("column"),
+                                         scheme_by_name("outer")],
+                                jobs=2)
+        assert len(parallel) == len(serial) > 0
+        assert [p.row() for p in parallel] == [p.row() for p in serial]
+
+    def test_jobs_one_and_none_are_serial(self):
+        none_jobs = run_ua_sweep(MACHINE, [SMALL_MLP1],
+                                 schemes=[scheme_by_name("column")],
+                                 replication_factors=[1])
+        one_job = run_ua_sweep(MACHINE, [SMALL_MLP1],
+                               schemes=[scheme_by_name("column")],
+                               replication_factors=[1], jobs=1)
+        assert [p.row() for p in one_job] == [p.row() for p in none_jobs]

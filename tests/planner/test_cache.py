@@ -16,7 +16,8 @@ from repro.planner.cache import (
 )
 
 
-def make_entry(scheme: str = "column", percent: float = 50.0) -> PlanEntry:
+def make_entry(scheme: str = "column", percent: float = 50.0,
+               fingerprint: str = None) -> PlanEntry:
     rec = PartitioningRecommendation(
         scheme=scheme_by_name(scheme),
         replication=(1, 1, 2),
@@ -26,7 +27,7 @@ def make_entry(scheme: str = "column", percent: float = 50.0) -> PlanEntry:
         memory_per_device=1 << 20,
     )
     return PlanEntry(recommendations=[rec], workload=Workload("w", 96, 80, 64),
-                     num_simulated=5, num_pruned=7)
+                     num_simulated=5, num_pruned=7, fingerprint=fingerprint)
 
 
 class TestLRU:
@@ -176,3 +177,66 @@ class TestPersistence:
         cache.save(path)
         keys = [item["key"] for item in json.loads(open(path).read())["entries"]]
         assert keys == ["new", "old"]
+
+
+class TestFingerprintInvalidation:
+    def test_stamped_entries_survive_matching_load(self, tmp_path):
+        cache = PlanCache()
+        cache.put("k", make_entry(fingerprint="model-v1"))
+        path = str(tmp_path / "plans.json")
+        cache.save(path)
+        warm = PlanCache()
+        assert warm.load(path, fingerprint="model-v1") == 1
+        assert warm.get("k").fingerprint == "model-v1"
+
+    def test_mismatched_fingerprint_invalidates_on_load(self, tmp_path):
+        cache = PlanCache()
+        cache.put("stale", make_entry(fingerprint="model-v1"))
+        cache.put("unstamped", make_entry())
+        path = str(tmp_path / "plans.json")
+        cache.save(path)
+        warm = PlanCache()
+        assert warm.load(path, fingerprint="model-v2") == 0
+        assert len(warm) == 0
+
+    def test_load_without_expectation_accepts_everything(self, tmp_path):
+        cache = PlanCache()
+        cache.put("a", make_entry(fingerprint="model-v1"))
+        cache.put("b", make_entry())
+        path = str(tmp_path / "plans.json")
+        cache.save(path)
+        warm = PlanCache()
+        assert warm.load(path) == 2
+
+    def test_fingerprint_roundtrips_through_json(self):
+        entry = make_entry(fingerprint="abcdef123456")
+        assert PlanEntry.from_dict(entry.to_dict()).fingerprint == "abcdef123456"
+        assert PlanEntry.from_dict(make_entry().to_dict()).fingerprint is None
+
+
+class TestServiceFingerprint:
+    def test_service_stamps_and_filters_by_cost_model(self, tmp_path):
+        from repro.core.cost_model import CostModel
+        from repro.planner.service import PlannerService
+        from repro.topology.machines import uniform_system
+
+        machine = uniform_system(4)
+        path = str(tmp_path / "plans.json")
+        workload = Workload("svc", 96, 80, 64)
+        with PlannerService(machine, replication_factors=[1]) as service:
+            response = service.plan(workload)
+            assert not response.cache_hit
+            key = service.signature_for(workload).key()
+            assert service.cache.get(key).fingerprint == CostModel(machine).fingerprint()
+            service.save_store(path)
+
+        # Same cost model build: warm start serves from the store.
+        with PlannerService(machine, replication_factors=[1],
+                            store_path=path) as warm:
+            assert warm.stats().warm_start_entries == 1
+            assert warm.plan(workload).cache_hit
+
+        # Different pricing build: every stored plan is stale.
+        stale = PlannerService(machine, replication_factors=[1])
+        stale.cost_model_fingerprint = "different-build"
+        assert stale.cache.load(path, fingerprint="different-build") == 0

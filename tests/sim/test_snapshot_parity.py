@@ -1,0 +1,43 @@
+"""Simulated-time parity against the committed benchmark snapshot.
+
+The snapshot in ``benchmarks/results/event_engine_smoke.json`` was written by
+the pre-refactor executors (inline clock charging).  The event-engine
+front-ends must reproduce every simulated time to 1e-9 relative — this is the
+guard against accidental cost-model drift while refactoring the plumbing.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+_BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+)
+SNAPSHOT = os.path.join(_BENCH_DIR, "results", "event_engine_smoke.json")
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    if _BENCH_DIR not in sys.path:
+        sys.path.insert(0, _BENCH_DIR)
+    import bench_event_engine_smoke
+
+    return bench_event_engine_smoke
+
+
+class TestSnapshotParity:
+    def test_snapshot_is_committed(self):
+        assert os.path.exists(SNAPSHOT), "event-engine smoke snapshot missing"
+
+    def test_all_points_match_within_tolerance(self, smoke):
+        assert smoke.check_snapshot(SNAPSHOT) == 0
+
+    def test_snapshot_covers_both_execution_modes(self):
+        with open(SNAPSHOT, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        modes = {point["mode"] for point in payload["points"]}
+        assert modes == {"direct", "ir"}
+        assert len(payload["points"]) >= 48
