@@ -16,14 +16,17 @@ Usage:
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
 import sys
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if os.path.isdir(_SRC) and _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+_BENCH = os.path.dirname(os.path.abspath(__file__))
+if _BENCH not in sys.path:
+    sys.path.insert(0, _BENCH)
+
+from harness_common import check_snapshot_file, snapshot_cli, write_snapshot_file
 
 from repro.bench.schemes import scheme_by_name
 from repro.bench.sweep import run_ua_point
@@ -104,62 +107,17 @@ def _key(record: dict) -> tuple:
 
 
 def write_snapshot(path: str = SNAPSHOT_PATH) -> str:
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    payload = {"version": 1, "tolerance": RELATIVE_TOLERANCE, "points": compute_points()}
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1)
-        handle.write("\n")
-    return path
+    return write_snapshot_file(path, compute_points(), RELATIVE_TOLERANCE)
 
 
 def check_snapshot(path: str = SNAPSHOT_PATH) -> int:
     """Compare freshly simulated times against the snapshot; returns #mismatches."""
-    with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    expected = {_key(record): record for record in payload["points"]}
-    actual = compute_points()
-    if len(actual) != len(expected):
-        print(f"point count drifted: snapshot has {len(expected)}, run produced {len(actual)}")
-        return max(1, abs(len(actual) - len(expected)))
-
-    mismatches = 0
-    worst = 0.0
-    for record in actual:
-        reference = expected.get(_key(record))
-        if reference is None:
-            print(f"point missing from snapshot: {_key(record)}")
-            mismatches += 1
-            continue
-        want = reference["simulated_time"]
-        got = record["simulated_time"]
-        drift = abs(got - want) / max(abs(want), 1e-300)
-        worst = max(worst, drift)
-        if drift > RELATIVE_TOLERANCE:
-            mismatches += 1
-            print(
-                f"DRIFT {_key(record)}: snapshot {want!r} vs simulated {got!r} "
-                f"(relative {drift:.3e})"
-            )
-    status = "OK" if mismatches == 0 else f"{mismatches} mismatches"
-    print(f"event-engine smoke: {len(actual)} points, max relative drift "
-          f"{worst:.3e} — {status}")
-    return mismatches
+    return check_snapshot_file(path, compute_points(), _key, RELATIVE_TOLERANCE,
+                               label="event-engine smoke")
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--write", action="store_true",
-                        help="regenerate the snapshot instead of checking it")
-    parser.add_argument("--check", action="store_true",
-                        help="check against the snapshot (the default action)")
-    parser.add_argument("--snapshot", default=SNAPSHOT_PATH,
-                        help="snapshot path (default: committed location)")
-    args = parser.parse_args(argv)
-    if args.write:
-        path = write_snapshot(args.snapshot)
-        print(f"wrote {path}")
-        return 0
-    return 1 if check_snapshot(args.snapshot) else 0
+    return snapshot_cli(__doc__, SNAPSHOT_PATH, write_snapshot, check_snapshot, argv)
 
 
 if __name__ == "__main__":

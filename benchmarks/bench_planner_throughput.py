@@ -122,9 +122,14 @@ def render(rows, pruning_rows) -> str:
     return "\n".join(lines)
 
 
-def _save_snapshot(rows, pruning_rows) -> str:
+def _result_name(fast: bool) -> str:
+    """Fast (CI smoke) runs must not clobber the committed full-run record."""
+    return "planner_throughput_fast" if fast else "planner_throughput"
+
+
+def _save_snapshot(rows, pruning_rows, fast: bool = False) -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, "planner_throughput.json")
+    path = os.path.join(RESULTS_DIR, f"{_result_name(fast)}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"throughput": rows, "pruning": pruning_rows}, handle, indent=2)
         handle.write("\n")
@@ -149,8 +154,8 @@ def test_pruned_search_simulates_fewer_candidates():
 
 def test_full_report(results_dir):
     rows, pruning_rows = run(fast=True)
-    write_result("planner_throughput", render(rows, pruning_rows))
-    _save_snapshot(rows, pruning_rows)
+    write_result(_result_name(fast=True), render(rows, pruning_rows))
+    _save_snapshot(rows, pruning_rows, fast=True)
 
 
 def main() -> None:
@@ -161,8 +166,8 @@ def main() -> None:
     rows, pruning_rows = run(fast=args.fast)
     text = render(rows, pruning_rows)
     print(text)
-    write_result("planner_throughput", text)
-    _save_snapshot(rows, pruning_rows)
+    write_result(_result_name(args.fast), text)
+    _save_snapshot(rows, pruning_rows, fast=args.fast)
     slowest = min(rows, key=lambda row: row["speedup"])
     if slowest["speedup"] < 10.0:
         raise SystemExit(

@@ -1,0 +1,164 @@
+"""Sparse-sweep drift smoke: structured workloads through the pruned search.
+
+For a deterministic grid of block-sparse and MoE-ragged workloads (plus each
+one's dense envelope) this tool runs the planner's pruned search end-to-end
+and records the winning partitioning and its simulated time.  The committed
+snapshot at ``benchmarks/results/sparse_sweep.json`` pins two things:
+
+* **times** — structured cost modelling is a pure function of the workload
+  structure and the machine model, so simulated times must not drift when
+  plumbing is refactored (1e-9 relative tolerance, like the event smoke);
+* **winners** — the headline capability of the sparse frontier: the search
+  picks *different* partitionings for a 0.9-sparse weight matrix and for a
+  skewed MoE batch than for their dense envelopes (block sparsity removes
+  B traffic, raggedness turns row partitionings into load imbalance).  The
+  snapshot stores each point's winner and ``--check`` fails on any change.
+
+CI runs ``--check`` on every push; run ``--write`` only for a deliberate
+cost-model change, and say so in the commit.
+
+Usage:
+    python benchmarks/bench_sparse_sweep.py --check   # default
+    python benchmarks/bench_sparse_sweep.py --write
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+_BENCH = os.path.dirname(os.path.abspath(__file__))
+if _BENCH not in sys.path:
+    sys.path.insert(0, _BENCH)
+
+from harness_common import check_snapshot_file, snapshot_cli, write_snapshot_file
+
+from repro.bench.workloads import Workload, block_sparse_workload, moe_workload
+from repro.core.config import ExecutionConfig
+from repro.planner.search import search_partitionings
+from repro.topology.machines import pvc_system, uniform_system
+
+SNAPSHOT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "sparse_sweep.json"
+)
+RELATIVE_TOLERANCE = 1.0e-9
+
+_MACHINES = {
+    "uniform4": lambda: uniform_system(4),
+    "pvc4": lambda: pvc_system(4),
+}
+
+
+def _workload_grid() -> list:
+    """(group, workload) pairs; each group holds a dense envelope + sparse members."""
+    grid = []
+    # Block-sparse weights on an MLP-ish shape: 0.9-sparse, 0.75-sparse, and
+    # the all-live mask (structured path, dense numbers).
+    envelope = Workload("bs_env_256x512x512", 256, 512, 512)
+    grid.append(("block_sparse", envelope))
+    for density in (0.10, 0.25, 1.0):
+        grid.append(
+            ("block_sparse",
+             block_sparse_workload(256, 512, 512, density=density,
+                                   block_k=64, block_n=64, seed=1))
+        )
+    # MoE-ragged batches over a tall envelope (only m parallelises densely):
+    # one expert hot, the rest nearly idle — versus the balanced dense view.
+    grid.append(("moe", Workload("moe_env_1024x256x256", 1024, 256, 256)))
+    grid.append(("moe", moe_workload(4, 256, 256, 256,
+                                     expert_tokens=[256, 20, 20, 20])))
+    grid.append(("moe", moe_workload(8, 128, 256, 256,
+                                     expert_tokens=[128, 128, 8, 8, 8, 8, 8, 8])))
+    return grid
+
+
+def compute_points() -> list:
+    """Run the pruned search for every grid point, in a fixed order."""
+    config = ExecutionConfig(simulate_only=True)
+    records = []
+    for machine_name, factory in sorted(_MACHINES.items()):
+        machine = factory()
+        for group, workload in _workload_grid():
+            recommendations, stats = search_partitionings(
+                machine, workload, config=config, top_k=1
+            )
+            best = recommendations[0]
+            records.append(
+                {
+                    "machine": machine_name,
+                    "group": group,
+                    "workload": workload.name,
+                    "structure": workload.structure.signature_token(),
+                    "m": workload.m,
+                    "n": workload.n,
+                    "k": workload.k,
+                    "scheme": best.scheme.name,
+                    "replication": list(best.replication),
+                    "stationary": best.stationary,
+                    "simulated_time": best.simulated_time,
+                    "percent_of_peak": best.percent_of_peak,
+                    "effective_flops": workload.effective_flops,
+                    "num_simulated": stats.num_simulated,
+                    "num_candidates": stats.num_candidates,
+                }
+            )
+    return records
+
+
+def _key(record: dict) -> tuple:
+    return (record["machine"], record["workload"], record["structure"])
+
+
+def _winner(record: dict) -> tuple:
+    return (record["scheme"], tuple(record["replication"]), record["stationary"])
+
+
+def summarize(records: list) -> None:
+    """Print the winner table and flag sparse-vs-envelope winner changes."""
+    envelopes = {
+        (record["machine"], record["group"]): record
+        for record in records
+        if record["structure"] == "dense"
+    }
+    print(f"{'machine':9s} {'workload':38s} {'winner':34s} time")
+    for record in records:
+        winner = f"{record['scheme']}/{record['replication']}/{record['stationary']}"
+        envelope = envelopes.get((record["machine"], record["group"]))
+        marker = ""
+        if record["structure"] != "dense" and envelope is not None:
+            marker = " *" if _winner(record) != _winner(envelope) else ""
+        print(f"{record['machine']:9s} {record['workload']:38s} {winner:34s} "
+              f"{record['simulated_time']:.4e}{marker}")
+    print("(* = search picked a different partitioning than the dense envelope)")
+
+
+def write_snapshot(path: str = SNAPSHOT_PATH) -> str:
+    records = compute_points()
+    write_snapshot_file(path, records, RELATIVE_TOLERANCE)
+    summarize(records)
+    return path
+
+
+def _winner_mismatch(record: dict, reference: dict):
+    if _winner(record) != _winner(reference):
+        return (f"WINNER CHANGED: snapshot {_winner(reference)} "
+                f"vs search {_winner(record)} at")
+    return None
+
+
+def check_snapshot(path: str = SNAPSHOT_PATH) -> int:
+    """Compare fresh search results (winners + times) against the snapshot."""
+    return check_snapshot_file(path, compute_points(), _key, RELATIVE_TOLERANCE,
+                               label="sparse sweep",
+                               extra_mismatch=_winner_mismatch)
+
+
+def main(argv=None) -> int:
+    return snapshot_cli(__doc__, SNAPSHOT_PATH, write_snapshot, check_snapshot, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

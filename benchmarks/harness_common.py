@@ -1,4 +1,5 @@
-"""Helpers shared by the benchmark modules (result persistence, sweep presets).
+"""Helpers shared by the benchmark modules (result persistence, sweep presets,
+drift-smoke snapshot scaffolding).
 
 Set ``REPRO_SWEEP_JOBS=<n>`` to fan the universal-algorithm sweeps behind the
 figure benchmarks over ``n`` worker processes (the default remains serial).
@@ -6,8 +7,9 @@ figure benchmarks over ``n`` worker processes (the default remains serial).
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.bench.report import print_figure
 from repro.bench.sweep import (
@@ -84,3 +86,86 @@ def render_figure(name: str, title: str, points: Sequence[SweepPoint]) -> str:
     text = print_figure(title, points)
     write_result(name, text)
     return text
+
+
+# ---------------------------------------------------------------------- #
+# drift-smoke snapshot scaffolding
+# ---------------------------------------------------------------------- #
+def write_snapshot_file(path: str, points: List[dict], tolerance: float) -> str:
+    """Persist a drift-smoke snapshot (shared JSON layout for every smoke)."""
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    payload = {"version": 1, "tolerance": tolerance, "points": points}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def check_snapshot_file(
+    path: str,
+    actual: List[dict],
+    key_fn: Callable[[dict], Tuple],
+    tolerance: float,
+    label: str,
+    extra_mismatch: Optional[Callable[[dict, dict], Optional[str]]] = None,
+) -> int:
+    """Compare freshly computed points against a snapshot; returns #mismatches.
+
+    ``key_fn`` identifies a point across runs; ``extra_mismatch`` lets a
+    smoke pin more than the simulated time (e.g. the sparse sweep pins the
+    winning partitioning) by returning a message when a point regressed.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    expected = {key_fn(record): record for record in payload["points"]}
+    if len(actual) != len(expected):
+        print(f"point count drifted: snapshot has {len(expected)}, "
+              f"run produced {len(actual)}")
+        return max(1, abs(len(actual) - len(expected)))
+
+    mismatches = 0
+    worst = 0.0
+    for record in actual:
+        reference = expected.get(key_fn(record))
+        if reference is None:
+            print(f"point missing from snapshot: {key_fn(record)}")
+            mismatches += 1
+            continue
+        if extra_mismatch is not None:
+            message = extra_mismatch(record, reference)
+            if message is not None:
+                mismatches += 1
+                print(f"{message} {key_fn(record)}")
+                continue
+        want = reference["simulated_time"]
+        got = record["simulated_time"]
+        drift = abs(got - want) / max(abs(want), 1e-300)
+        worst = max(worst, drift)
+        if drift > tolerance:
+            mismatches += 1
+            print(f"DRIFT {key_fn(record)}: snapshot {want!r} vs simulated {got!r} "
+                  f"(relative {drift:.3e})")
+    status = "OK" if mismatches == 0 else f"{mismatches} mismatches"
+    print(f"{label}: {len(actual)} points, max relative drift {worst:.3e} — {status}")
+    return mismatches
+
+
+def snapshot_cli(description: str, default_snapshot: str,
+                 write_fn: Callable[[str], str],
+                 check_fn: Callable[[str], int], argv=None) -> int:
+    """The shared ``--write`` / ``--check`` / ``--snapshot`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--write", action="store_true",
+                        help="regenerate the snapshot instead of checking it")
+    parser.add_argument("--check", action="store_true",
+                        help="check against the snapshot (the default action)")
+    parser.add_argument("--snapshot", default=default_snapshot,
+                        help="snapshot path (default: committed location)")
+    args = parser.parse_args(argv)
+    if args.write:
+        path = write_fn(args.snapshot)
+        print(f"wrote {path}")
+        return 0
+    return 1 if check_fn(args.snapshot) else 0

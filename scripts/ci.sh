@@ -27,4 +27,7 @@ python benchmarks/bench_planner_throughput.py --fast
 echo "== benchmark smoke: event-engine drift check =="
 python benchmarks/bench_event_engine_smoke.py --check
 
+echo "== benchmark smoke: sparse/MoE sweep drift check =="
+python benchmarks/bench_sparse_sweep.py --check
+
 echo "CI passed."

@@ -14,8 +14,10 @@ from repro.bench.workloads import (
     BATCH_SIZES,
     Workload,
     attention_workload,
+    block_sparse_workload,
     mlp1_workload,
     mlp2_workload,
+    moe_workload,
     rectangular_series,
     square_workload,
     tall_skinny_workload,
@@ -43,8 +45,10 @@ __all__ = [
     "BATCH_SIZES",
     "Workload",
     "attention_workload",
+    "block_sparse_workload",
     "mlp1_workload",
     "mlp2_workload",
+    "moe_workload",
     "rectangular_series",
     "square_workload",
     "tall_skinny_workload",

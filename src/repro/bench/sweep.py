@@ -98,7 +98,15 @@ def run_ua_point(
                                  name="B", materialize=not config.simulate_only)
     c = DistributedMatrix.create(runtime, c_shape, part_c, replication=rep_c,
                                  name="C", materialize=not config.simulate_only)
-    result = universal_matmul(a, b, c, stationary=stationary, config=config)
+    result = universal_matmul(a, b, c, stationary=stationary, config=config,
+                              structure=workload.structure)
+    extra = {
+        "remote_get_bytes": result.remote_get_bytes,
+        "remote_accumulate_bytes": result.remote_accumulate_bytes,
+        "total_ops": result.total_ops,
+    }
+    if not workload.structure.is_dense:
+        extra["structure"] = workload.structure.signature_token()
     return SweepPoint(
         series=scheme.label,
         workload=workload.name,
@@ -107,11 +115,7 @@ def run_ua_point(
         simulated_time=result.simulated_time,
         stationary=result.stationary.value,
         replication=replication,
-        extra={
-            "remote_get_bytes": result.remote_get_bytes,
-            "remote_accumulate_bytes": result.remote_accumulate_bytes,
-            "total_ops": result.total_ops,
-        },
+        extra=extra,
     )
 
 

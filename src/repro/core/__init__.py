@@ -8,6 +8,14 @@ Section 4.3, the cost model, and the :func:`universal_matmul` entry point.
 
 from repro.core.config import ExecutionConfig, ExecutionMode, LoweringStrategy
 from repro.core.cost_model import CostModel, GemmShapeModel
+from repro.core.structure import (
+    DENSE,
+    BlockSparse,
+    Dense,
+    MoERagged,
+    WorkloadStructure,
+    structure_from_dict,
+)
 from repro.core.ops import LocalMatmulOp, OperandRef
 from repro.core.result import ExecutionResult, RankStats
 from repro.core.stationary import (
@@ -39,6 +47,12 @@ __all__ = [
     "LoweringStrategy",
     "CostModel",
     "GemmShapeModel",
+    "DENSE",
+    "BlockSparse",
+    "Dense",
+    "MoERagged",
+    "WorkloadStructure",
+    "structure_from_dict",
     "LocalMatmulOp",
     "OperandRef",
     "ExecutionResult",

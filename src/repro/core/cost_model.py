@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
+from repro.core.structure import ROLE_A, ROLE_B, WorkloadStructure, resolve_structure
 from repro.topology.machines import MachineSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -158,6 +159,49 @@ class CostModel:
     def op_compute_time(self, op: "LocalMatmulOp") -> float:
         return self.gemm_time(op.m, op.n, op.k, op.itemsize)
 
+    def structured_op_compute_time(
+        self,
+        op: "LocalMatmulOp",
+        structure: Optional[WorkloadStructure],
+        fractions: Optional[Tuple[float, float, float, float]] = None,
+    ) -> float:
+        """Roofline time of one op's *live* GEMM under a workload structure.
+
+        Dense structures fall through to :meth:`op_compute_time` untouched
+        (bit-exact with the historical pricing).  Otherwise flops and bytes
+        are scaled by the live fractions of the op's global cuboid, and the
+        shape-efficiency term is evaluated at the live effective dimensions —
+        a ragged expert batch really runs a skinnier, less efficient GEMM.
+        Every scale factor is in ``[0, 1]``, so a structured op never prices
+        above its dense envelope (the dominance the planner's bounds and the
+        property harness rely on).
+
+        ``fractions`` is the op's ``structure.op_fractions(...)`` tuple when
+        the caller already computed it (the executor and the occupancy bound
+        both need the C fraction too) — passing it avoids a second scan of
+        the mask/raggedness geometry.
+        """
+        if structure is None or structure.is_dense:
+            return self.op_compute_time(op)
+        if fractions is None:
+            fractions = structure.op_fractions(op.m_bound, op.k_bound, op.n_bound)
+        flops_frac, a_frac, b_frac, c_frac = fractions
+        if flops_frac <= 0.0:
+            return 0.0
+        m, n, k = op.m, op.n, op.k
+        flops = 2.0 * m * n * k * flops_frac
+        bytes_touched = float(op.itemsize) * (
+            a_frac * (m * k) + b_frac * (k * n) + 2.0 * c_frac * (m * n)
+        )
+        m_eff, n_eff, k_eff = structure.gemm_dims(op.m_bound, op.k_bound,
+                                                  op.n_bound, flops_frac)
+        efficiency = self.machine.gemm_efficiency * self.shape_model.efficiency(
+            m_eff, n_eff, k_eff
+        )
+        compute_time = flops / (self.machine.flops_peak * max(efficiency, 1.0e-3))
+        memory_time = bytes_touched / self.machine.memory_bandwidth
+        return max(compute_time, memory_time) + self.machine.kernel_launch_overhead
+
     def op_fetch_time(self, op: "LocalMatmulOp") -> float:
         """Time to fetch the (whole) remote tiles the op depends on."""
         total = 0.0
@@ -214,6 +258,7 @@ class CostModel:
         c: "DistributedMatrix",
         per_rank_ops: Mapping[int, Sequence["LocalMatmulOp"]],
         cache_remote_tiles: bool = True,
+        structure: Optional[WorkloadStructure] = None,
     ) -> float:
         """A lower bound on the direct executor's makespan for these op lists.
 
@@ -233,31 +278,49 @@ class CostModel:
         and engine reservations never overlap, so each device finishes no
         earlier than any single engine's summed occupancy.  The makespan is
         the slowest device, hence the max-of-max below.
+
+        ``structure`` scales every term exactly as the executor's event
+        stream does (live tile bytes, live accumulate bytes, live GEMM
+        work), so the bound stays admissible on block-sparse and MoE-ragged
+        workloads; pass the same *filtered* op lists the executor runs.
         """
+        structure = resolve_structure(structure)
         num_devices = self.machine.num_devices
         compute = [0.0] * num_devices
         copy = [0.0] * num_devices
         accumulate = [0.0] * num_devices
         ingress = [0.0] * num_devices
         egress = [0.0] * num_devices
-        tile_bytes: Dict[tuple, int] = {}
+        tile_bytes: Dict[tuple, float] = {}
 
-        def full_tile_bytes(label: str, matrix, tile_idx) -> int:
+        def full_tile_bytes(label: str, matrix, tile_idx) -> float:
             key = (label, tile_idx)
             if key not in tile_bytes:
-                tile_bytes[key] = matrix.tile_bounds(tile_idx).size * matrix.dtype.itemsize
+                bounds = matrix.tile_bounds(tile_idx)
+                nbytes = bounds.size * matrix.dtype.itemsize
+                if structure is not None:
+                    nbytes *= structure.live_fraction(label, bounds.rows, bounds.cols)
+                tile_bytes[key] = nbytes
             return tile_bytes[key]
 
         for rank, ops in per_rank_ops.items():
             fetched: set = set()
             for op in ops:
-                compute[rank] += self.op_compute_time(op)
-                if op.c_is_remote:
-                    accumulate[rank] += self.accumulate_time(rank, op.c.owner, op.c_bytes)
-                    ingress[op.c.owner] += self.device_link_time(op.c_bytes, accumulate=True)
+                if structure is None:
+                    fractions = None
+                    c_bytes = op.c_bytes
                 else:
-                    compute[rank] += self.local_accumulate_time(op.c_bytes)
-                for label, matrix, ref in (("A", a, op.a), ("B", b, op.b)):
+                    fractions = structure.op_fractions(op.m_bound, op.k_bound,
+                                                       op.n_bound)
+                    c_bytes = op.c_bytes * fractions[3]
+                compute[rank] += self.structured_op_compute_time(op, structure,
+                                                                 fractions)
+                if op.c_is_remote:
+                    accumulate[rank] += self.accumulate_time(rank, op.c.owner, c_bytes)
+                    ingress[op.c.owner] += self.device_link_time(c_bytes, accumulate=True)
+                else:
+                    compute[rank] += self.local_accumulate_time(c_bytes)
+                for label, matrix, ref in ((ROLE_A, a, op.a), (ROLE_B, b, op.b)):
                     if ref.owner == rank:
                         continue
                     cache_key = (label, ref.replica, ref.index)
@@ -281,6 +344,7 @@ class CostModel:
         c: "DistributedMatrix",
         per_rank_ops: Mapping[int, Sequence["LocalMatmulOp"]],
         config: Optional["ExecutionConfig"] = None,
+        structure: Optional[WorkloadStructure] = None,
     ) -> float:
         """A critical-path lower bound on the direct executor's makespan.
 
@@ -314,10 +378,12 @@ class CostModel:
         if not config.simulate_only:
             config = config.evolve(simulate_only=True)
         engine = EventEngine(self.machine.num_devices, contention=False)
-        executor = DirectExecutor(a, b, c, self, config=config, engine=engine)
+        executor = DirectExecutor(a, b, c, self, config=config, engine=engine,
+                                  structure=structure)
         executor.execute({rank: list(ops) for rank, ops in per_rank_ops.items()})
         occupancy = self.direct_lower_bound(
-            a, b, c, per_rank_ops, cache_remote_tiles=config.cache_remote_tiles
+            a, b, c, per_rank_ops, cache_remote_tiles=config.cache_remote_tiles,
+            structure=structure,
         )
         return max(engine.makespan(), occupancy)
 

@@ -34,6 +34,7 @@ from repro.core.config import ExecutionConfig
 from repro.core.cost_model import CostModel
 from repro.core.ops import LocalMatmulOp
 from repro.core.result import RankStats
+from repro.core.structure import WorkloadStructure, resolve_structure
 from repro.dist.matrix import DistributedMatrix
 from repro.runtime.clock import ACCUMULATE, COMPUTE, COPY
 from repro.sim.engine import EventEngine
@@ -81,6 +82,7 @@ class DirectExecutor:
         cost_model: CostModel,
         config: Optional[ExecutionConfig] = None,
         engine: Optional[EventEngine] = None,
+        structure: Optional[WorkloadStructure] = None,
     ) -> None:
         self.a = a
         self.b = b
@@ -90,6 +92,16 @@ class DirectExecutor:
         self.config = config or ExecutionConfig()
         self.engine = engine or EventEngine(self.runtime.num_ranks)
         self.clock = self.engine.clock
+        # Normalized to None for dense so the hot path stays the historical
+        # arithmetic (bit-exact with the committed snapshots); non-dense
+        # structures scale every emitted event by its live fraction.
+        self.structure = resolve_structure(structure)
+        if self.structure is not None and not self.config.simulate_only:
+            raise ValueError(
+                "structured workloads are time-model only: masked blocks and "
+                "padding rows carry no real data, so the executor cannot "
+                "materialize them — use ExecutionConfig(simulate_only=True)"
+            )
 
     # ------------------------------------------------------------------ #
     # public API
@@ -167,11 +179,24 @@ class DirectExecutor:
         elif index > 0:
             gemm_deps.append(state.accumulate_events[index - 1])
 
-        gemm_duration = self.cost_model.op_compute_time(op)
+        if self.structure is None:
+            fractions = None
+            op_flops = op.flops
+            c_bytes = op.c_bytes
+        else:
+            # One geometry scan per op: the same fractions price the GEMM,
+            # the accumulate, and the stats.
+            fractions = self.structure.op_fractions(op.m_bound, op.k_bound,
+                                                    op.n_bound)
+            op_flops = op.flops * fractions[0]
+            c_bytes = op.c_bytes * fractions[3]
+        gemm_duration = self.cost_model.structured_op_compute_time(
+            op, self.structure, fractions
+        )
         gemm_event = self.engine.gemm(state.rank, gemm_duration, deps=gemm_deps,
                                       label="gemm")
         state.gemm_events.append(gemm_event)
-        state.stats.flops += op.flops
+        state.stats.flops += op_flops
 
         # ----- accumulate into C -----------------------------------------
         if op.c_is_remote:
@@ -183,8 +208,8 @@ class DirectExecutor:
                     initiator=state.rank,
                     region=op.c.local,
                 )
-            duration = self.cost_model.accumulate_time(state.rank, op.c.owner, op.c_bytes)
-            occupancy = self.cost_model.device_link_time(op.c_bytes, accumulate=True)
+            duration = self.cost_model.accumulate_time(state.rank, op.c.owner, c_bytes)
+            occupancy = self.cost_model.device_link_time(c_bytes, accumulate=True)
             # The accumulate cannot start before the producing GEMM finished,
             # before the initiator's own accumulate queue drains, and it must
             # find a free slot in the destination's shared ingress capacity
@@ -199,12 +224,12 @@ class DirectExecutor:
                 deps=(gemm_event,),
                 label="accumulate",
             )
-            state.stats.remote_accumulate_bytes += op.c_bytes
+            state.stats.remote_accumulate_bytes += c_bytes
         else:
             if not config.simulate_only:
                 c_view = self.c.tile(op.c.index, op.c.replica, rank=state.rank)
                 c_view[op.c.local.as_slices()] += product
-            duration = self.cost_model.local_accumulate_time(op.c_bytes)
+            duration = self.cost_model.local_accumulate_time(c_bytes)
             acc_event = self.engine.local_accumulate(
                 state.rank, duration, deps=(gemm_event,), label="local-accumulate"
             )
@@ -245,7 +270,12 @@ class DirectExecutor:
         if self.config.cache_remote_tiles and cache_key in state.cache:
             return state.cache[cache_key]
 
-        nbytes = matrix.tile_bounds(tile_idx).size * matrix.dtype.itemsize
+        bounds = matrix.tile_bounds(tile_idx)
+        nbytes = bounds.size * matrix.dtype.itemsize
+        if self.structure is not None:
+            # Only live data crosses the wire: masked B blocks and padding
+            # rows of A are never fetched (a fully masked tile costs 0).
+            nbytes *= self.structure.live_fraction(matrix_key, bounds.rows, bounds.cols)
         duration = self.cost_model.transfer_time(owner, rank, nbytes)
         occupancy = self.cost_model.device_link_time(nbytes)
         # The fetch starts once the reader's own copy queue (its ingress

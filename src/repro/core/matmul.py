@@ -40,6 +40,12 @@ from repro.core.stationary import (
     choose_stationary_by_size,
     parse_stationary,
 )
+from repro.core.structure import (
+    ROLE_C,
+    WorkloadStructure,
+    prune_structured_ops,
+    resolve_structure,
+)
 from repro.dist.matrix import DistributedMatrix
 from repro.util.validation import ShapeError, check_matmul_shapes
 
@@ -71,17 +77,24 @@ def _resolve_stationary(
     return parse_stationary(stationary)
 
 
-def model_reduce_time(c: DistributedMatrix, cost_model: CostModel, origin: int = 0) -> float:
+def model_reduce_time(c: DistributedMatrix, cost_model: CostModel, origin: int = 0,
+                      structure: Optional[WorkloadStructure] = None) -> float:
     """Modelled time of ``reduce_replicas``: incoming accumulates serialise at each origin owner.
 
     Public because the planner's pruning bound needs the exact same replica
     reduction term that :func:`universal_matmul` adds to its makespan.
+    ``structure`` scales each tile to its live bytes (padding rows of a
+    ragged C are not reduced); dense structures change nothing.
     """
     if c.replication.num_replicas == 1:
         return 0.0
+    structure = resolve_structure(structure)
     per_owner: Dict[int, float] = {}
     for tile_idx in c.grid.tiles():
-        nbytes = c.tile_bounds(tile_idx).size * c.dtype.itemsize
+        bounds = c.tile_bounds(tile_idx)
+        nbytes = bounds.size * c.dtype.itemsize
+        if structure is not None:
+            nbytes *= structure.live_fraction(ROLE_C, bounds.rows, bounds.cols)
         dst_owner = c.owner_rank(tile_idx, origin)
         for replica in range(c.replication.num_replicas):
             if replica == origin:
@@ -101,6 +114,7 @@ def universal_matmul(
     config: Optional[ExecutionConfig] = None,
     cost_model: Optional[CostModel] = None,
     reduce_origin: int = 0,
+    structure: Optional[WorkloadStructure] = None,
 ) -> ExecutionResult:
     """Compute ``C += A @ B`` for distributed matrices with any partitionings.
 
@@ -121,6 +135,12 @@ def universal_matmul(
         machine spec.
     reduce_origin:
         Replica that receives the reduced result when C is replicated.
+    structure:
+        Optional :class:`~repro.core.structure.WorkloadStructure` describing
+        which parts of the envelope are live (block-sparse B, MoE-ragged m).
+        Non-dense structures are time-model only: they require the direct
+        execution mode with ``simulate_only=True``, fully masked ops are
+        skipped, and every emitted event is scaled to its live work.
 
     Returns
     -------
@@ -132,18 +152,35 @@ def universal_matmul(
     m, n, k = check_matmul_shapes(a.shape, b.shape, c.shape)
     config = config or ExecutionConfig()
     cost_model = cost_model or CostModel(a.runtime.machine)
+    structure = resolve_structure(structure)
+    if structure is not None:
+        structure.validate(m, n, k)
+        if config.mode is not ExecutionMode.DIRECT:
+            raise ValueError(
+                "structured workloads are only supported under the direct "
+                "execution mode (the IR lowering prices dense envelopes)"
+            )
+        if not config.simulate_only:
+            raise ValueError(
+                "structured workloads are time-model only: use "
+                "ExecutionConfig(simulate_only=True)"
+            )
 
     resolved = _resolve_stationary(a, b, c, stationary, cost_model)
     per_rank_ops = generate_all_ops(a, b, c, resolved)
     if config.validate_ops:
+        # Coverage is an envelope invariant, so it is checked before the
+        # structure drops the all-masked ops.
         check_coverage(a, b, c, per_rank_ops)
+    if structure is not None:
+        per_rank_ops = prune_structured_ops(per_rank_ops, structure)
     if config.iteration_offset:
         per_rank_ops = {
             rank: apply_iteration_offset(ops) for rank, ops in per_rank_ops.items()
         }
 
     if config.mode is ExecutionMode.DIRECT:
-        executor = DirectExecutor(a, b, c, cost_model, config)
+        executor = DirectExecutor(a, b, c, cost_model, config, structure=structure)
         makespan, per_rank_stats = executor.execute(per_rank_ops)
         lowering_name = None
     else:
@@ -156,9 +193,10 @@ def universal_matmul(
     if c.replication.num_replicas > 1:
         if not config.simulate_only:
             c.reduce_replicas(origin_idx=reduce_origin)
-        reduce_time = model_reduce_time(c, cost_model, reduce_origin)
+        reduce_time = model_reduce_time(c, cost_model, reduce_origin,
+                                        structure=structure)
 
-    total_flops = 2 * m * n * k
+    total_flops = 2 * m * n * k if structure is None else structure.effective_flops(m, n, k)
     simulated_time = makespan + reduce_time
     result = ExecutionResult(
         stationary=resolved,
@@ -191,4 +229,6 @@ def universal_matmul(
             },
         },
     )
+    if structure is not None:
+        result.metadata["structure"] = structure.to_dict()
     return result

@@ -36,6 +36,7 @@ from repro.core.cost_model import CostModel
 from repro.core.matmul import model_reduce_time
 from repro.core.slicing import apply_iteration_offset, generate_all_ops
 from repro.core.stationary import parse_stationary
+from repro.core.structure import prune_structured_ops, resolve_structure
 from repro.dist.matrix import DistributedMatrix
 from repro.runtime.runtime import Runtime
 from repro.topology.machines import MachineSpec
@@ -90,13 +91,26 @@ class SearchStats:
 
 def memory_per_device(workload: Workload, replication: Tuple[int, int, int],
                       num_devices: int, itemsize: int = 4) -> int:
-    """Worst-case bytes of A+B+C tile storage on one device."""
+    """Worst-case bytes of A+B+C tile storage on one device.
+
+    Structure-aware: a block-sparse B stores only its live blocks and a
+    ragged A/C stores only its live token rows, so one device can never hold
+    more than the matrix's total live bytes — but also never less than we
+    can guarantee below its dense share (an adversarial mask can concentrate
+    every live block on one device), hence the ``min`` of the two.  Dense
+    workloads reduce to the historical envelope formula exactly.
+    """
     (am, ak), (bk, bn), (cm, cn) = workload.shapes
     rep_a, rep_b, rep_c = replication
+    structure = resolve_structure(workload.structure)
     per_device = 0
-    for (rows, cols), factor in (((am, ak), rep_a), ((bk, bn), rep_b), ((cm, cn), rep_c)):
+    for role, (rows, cols), factor in (("A", (am, ak), rep_a), ("B", (bk, bn), rep_b),
+                                       ("C", (cm, cn), rep_c)):
         procs_per_replica = max(1, num_devices // factor)
-        per_device += -(-rows * cols // procs_per_replica) * itemsize
+        share = -(-rows * cols // procs_per_replica) * itemsize
+        if structure is not None:
+            share = min(share, structure.storage_bytes(role, rows, cols, itemsize))
+        per_device += share
     return per_device
 
 
@@ -181,6 +195,12 @@ def candidate_lower_bound(
     config = config or ExecutionConfig(simulate_only=True)
     a, b, c = _symbolic_matrices(machine, workload, candidate)
     per_rank_ops = generate_all_ops(a, b, c, parse_stationary(candidate.stationary))
+    structure = resolve_structure(workload.structure)
+    if structure is not None:
+        # Drop fully masked ops exactly as the simulation does, so the bound
+        # prices the op stream the executor will actually run (counting a
+        # skipped op's fetch would break admissibility).
+        per_rank_ops = prune_structured_ops(per_rank_ops, structure)
     cost_model = CostModel(machine)
     if bound == BOUND_CRITICAL_PATH:
         # The relaxed replay is order-sensitive: hand it the exact execution
@@ -189,12 +209,14 @@ def candidate_lower_bound(
             per_rank_ops = {
                 rank: apply_iteration_offset(ops) for rank, ops in per_rank_ops.items()
             }
-        value = cost_model.critical_path_lower_bound(a, b, c, per_rank_ops, config)
+        value = cost_model.critical_path_lower_bound(a, b, c, per_rank_ops, config,
+                                                     structure=structure)
     else:
         value = cost_model.direct_lower_bound(
-            a, b, c, per_rank_ops, cache_remote_tiles=config.cache_remote_tiles
+            a, b, c, per_rank_ops, cache_remote_tiles=config.cache_remote_tiles,
+            structure=structure,
         )
-    return value + model_reduce_time(c, cost_model)
+    return value + model_reduce_time(c, cost_model, structure=structure)
 
 
 def search_partitionings(

@@ -40,7 +40,7 @@ from repro.planner.search import SearchStats, search_partitionings
 from repro.planner.signature import (
     DEFAULT_BUCKET_RATIO,
     ProblemSignature,
-    bucket_dim,
+    bucket_workload,
     machine_fingerprint,
     options_fingerprint,
 )
@@ -183,16 +183,23 @@ class PlannerService:
         return digest
 
     def signature_for(self, workload: Workload, top_k: Optional[int] = None) -> ProblemSignature:
-        """Canonical signature a request maps to (its cache identity)."""
+        """Canonical signature a request maps to (its cache identity).
+
+        Structured workloads bucket their live geometry (density, expert
+        capacity and routed tokens) alongside the envelope, so near-identical
+        sparse requests share a plan computed for their bucket's corner.
+        """
         effective_k = self.top_k if top_k is None else top_k
+        m, n, k, structure = bucket_workload(workload, self.bucket_ratio)
         return ProblemSignature(
-            m=bucket_dim(workload.m, self.bucket_ratio),
-            n=bucket_dim(workload.n, self.bucket_ratio),
-            k=bucket_dim(workload.k, self.bucket_ratio),
+            m=m,
+            n=n,
+            k=k,
             dtype=self.dtype,
             machine=self._machine_digest,
             memory_budget=self.memory_budget_bytes,
             options=self._options_digest(effective_k),
+            structure=structure,
         )
 
     # ------------------------------------------------------------------ #

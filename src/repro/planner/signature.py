@@ -19,11 +19,11 @@ fleet, the same memory budget.  Two ingredients turn those into cache hits:
 from __future__ import annotations
 
 import hashlib
-import math
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 from repro.bench.workloads import Workload
+from repro.core.structure import DENSE, WorkloadStructure, geometric_bucket
 from repro.topology.machines import MachineSpec
 
 #: Requests whose dimensions differ by less than ~±11% share a bucket.
@@ -42,13 +42,35 @@ def bucket_dim(value: int, ratio: float = DEFAULT_BUCKET_RATIO) -> int:
 
     ``ratio <= 1`` (or ``None``) disables bucketing and returns the exact
     dimension, which makes the signature exact-match only.
+
+    Delegates to :func:`repro.core.structure.geometric_bucket` — the single
+    rounding rule shared with live-count bucketing (block densities, expert
+    capacities, routed-token totals), so envelope and structure corners can
+    never drift apart.
     """
-    if value < 1:
-        raise ValueError(f"dimension must be positive, got {value}")
-    if ratio is None or ratio <= 1.0:
-        return int(value)
-    index = round(math.log(value) / math.log(ratio))
-    return max(int(value), int(math.ceil(ratio ** (index + 0.5))))
+    return geometric_bucket(value, ratio)
+
+
+def bucket_workload(workload: Workload,
+                    ratio: Optional[float] = DEFAULT_BUCKET_RATIO
+                    ) -> Tuple[int, int, int, WorkloadStructure]:
+    """Bucket a request's envelope *and* structure to their corner.
+
+    Dense requests bucket each dimension independently (the historical
+    behaviour).  Structured requests additionally snap their live geometry —
+    block-sparse live-block counts, MoE capacity and routed-token totals —
+    to geometric upper corners, and the structure may adjust the envelope
+    (an MoE batch keeps ``m`` expert-aligned by bucketing the capacity).
+    The corner always dominates every member of its bucket, so the corner
+    plan's memory-feasibility check covers the whole bucket.
+    """
+    m = bucket_dim(workload.m, ratio)
+    n = bucket_dim(workload.n, ratio)
+    k = bucket_dim(workload.k, ratio)
+    structure = workload.structure
+    if structure.is_dense:
+        return m, n, k, DENSE
+    return structure.bucket_envelope(m, n, k, ratio)
 
 
 def machine_fingerprint(machine: MachineSpec) -> str:
@@ -101,6 +123,8 @@ class ProblemSignature:
     memory_budget: Optional[float] = None
     #: Output of :func:`options_fingerprint` for the search options in force.
     options: str = ""
+    #: The bucket-corner workload structure (dense, block-sparse, MoE-ragged).
+    structure: WorkloadStructure = field(default=DENSE)
 
     @classmethod
     def from_request(
@@ -114,22 +138,31 @@ class ProblemSignature:
         options: str = "",
     ) -> "ProblemSignature":
         """Build the signature for one (machine, workload) planning request."""
+        m, n, k, structure = bucket_workload(workload, bucket_ratio)
         return cls(
-            m=bucket_dim(workload.m, bucket_ratio),
-            n=bucket_dim(workload.n, bucket_ratio),
-            k=bucket_dim(workload.k, bucket_ratio),
+            m=m,
+            n=n,
+            k=k,
             dtype=str(dtype),
             machine=machine_fingerprint(machine),
             memory_budget=memory_budget_bytes,
             options=options,
+            structure=structure,
         )
 
     def key(self) -> str:
-        """Stable string form used by the LRU cache and the JSON plan store."""
+        """Stable string form used by the LRU cache and the JSON plan store.
+
+        Dense keys keep their historical format (so existing plan stores
+        stay valid); structured signatures append the structure token.
+        """
         budget = "cap" if self.memory_budget is None else f"{float(self.memory_budget):.6g}"
-        return f"{self.m}x{self.n}x{self.k}|{self.dtype}|{self.machine}|{budget}|{self.options}"
+        base = f"{self.m}x{self.n}x{self.k}|{self.dtype}|{self.machine}|{budget}|{self.options}"
+        if self.structure.is_dense:
+            return base
+        return f"{base}|{self.structure.signature_token()}"
 
     def representative_workload(self, name: str = "bucket") -> Workload:
         """The bucket's canonical workload (what a fresh plan is computed for)."""
         return Workload(name=f"{name}_{self.m}x{self.n}x{self.k}",
-                        m=self.m, n=self.n, k=self.k)
+                        m=self.m, n=self.n, k=self.k, structure=self.structure)

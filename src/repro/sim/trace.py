@@ -16,7 +16,7 @@ a simulated schedule can be inspected on a real timeline viewer::
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Protocol
+from typing import Dict, List, Protocol
 
 from repro.sim.events import EventKind, ScheduledEvent
 

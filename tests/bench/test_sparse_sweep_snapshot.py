@@ -1,0 +1,63 @@
+"""Sparse-sweep parity against the committed benchmark snapshot.
+
+Pins both the simulated times (1e-9 relative) and the *winning partitionings*
+of the structured-workload grid: the snapshot documents that the search picks
+different partitions for 0.9-sparse and ragged-MoE shapes than for their
+dense envelopes, and this guard keeps that capability from regressing.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+_BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+)
+SNAPSHOT = os.path.join(_BENCH_DIR, "results", "sparse_sweep.json")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    if _BENCH_DIR not in sys.path:
+        sys.path.insert(0, _BENCH_DIR)
+    import bench_sparse_sweep
+
+    return bench_sparse_sweep
+
+
+class TestSparseSweepSnapshot:
+    def test_snapshot_is_committed(self):
+        assert os.path.exists(SNAPSHOT), "sparse sweep snapshot missing"
+
+    def test_all_points_match(self, sweep):
+        assert sweep.check_snapshot(SNAPSHOT) == 0
+
+    def test_snapshot_demonstrates_winner_changes(self):
+        """Sparse members must beat their envelope with a different plan."""
+        with open(SNAPSHOT, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        points = payload["points"]
+        envelopes = {
+            (p["machine"], p["group"]): p for p in points if p["structure"] == "dense"
+        }
+        changed = 0
+        for point in points:
+            if point["structure"] == "dense":
+                continue
+            envelope = envelopes[(point["machine"], point["group"])]
+            assert point["simulated_time"] <= envelope["simulated_time"] * (1 + 1e-12)
+            if (point["scheme"], point["stationary"]) != (
+                    envelope["scheme"], envelope["stationary"]):
+                changed += 1
+        # Every density<=0.25 and ragged-MoE point flips its winner; the
+        # all-live control point must NOT (it is bit-identical to dense).
+        assert changed >= 8
+        controls = [p for p in points if p["structure"] != "dense"
+                    and p["workload"].endswith("_d1_s1")]
+        assert controls
+        for control in controls:
+            envelope = envelopes[(control["machine"], control["group"])]
+            assert control["simulated_time"] == envelope["simulated_time"]

@@ -7,15 +7,19 @@ from repro.bench.workloads import (
     BATCH_SIZES,
     MLP_HIDDEN,
     MLP_RATIO,
+    WORKLOAD_SCHEMA_VERSION,
     Workload,
     attention_workload,
+    block_sparse_workload,
     mlp1_workload,
     mlp2_workload,
+    moe_workload,
     rectangular_series,
     square_workload,
     tall_skinny_workload,
 )
 from repro.bench.workloads import mlp1_series, mlp2_series
+from repro.core.structure import BlockSparse, MoERagged, structure_from_dict
 
 
 class TestWorkloads:
@@ -89,6 +93,68 @@ class TestWorkloads:
         flops = {workload.flops for workload in series}
         assert len(flops) == 1
         assert series[-1].n > series[0].n
+
+
+class TestStructuredWorkloads:
+    def test_block_sparse_factory_hits_requested_density(self):
+        workload = block_sparse_workload(256, 512, 512, density=0.25,
+                                         block_k=64, block_n=64, seed=1)
+        structure = workload.structure
+        assert isinstance(structure, BlockSparse)
+        assert structure.density == pytest.approx(0.25, abs=1 / 64)
+        assert workload.effective_flops < workload.flops
+
+    def test_block_sparse_factory_is_deterministic(self):
+        one = block_sparse_workload(256, 512, 512, density=0.3, seed=7)
+        two = block_sparse_workload(256, 512, 512, density=0.3, seed=7)
+        assert one == two
+        other = block_sparse_workload(256, 512, 512, density=0.3, seed=8)
+        assert one.structure != other.structure
+
+    def test_moe_factory_envelope_is_expert_aligned(self):
+        workload = moe_workload(4, 64, 512, 512, expert_tokens=[64, 5, 9, 1])
+        assert workload.m == 4 * 64
+        assert isinstance(workload.structure, MoERagged)
+        assert workload.structure.total_tokens == 79
+        assert workload.effective_flops == 2.0 * 79 * 512 * 512
+
+    def test_moe_factory_random_split_is_deterministic(self):
+        assert moe_workload(8, 32, 128, 128, seed=3) == moe_workload(8, 32, 128, 128, seed=3)
+
+    def test_structure_envelope_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="envelope"):
+            Workload("bad", 100, 64, 64,
+                     structure=MoERagged(expert_tokens=(10, 10), capacity=64))
+        with pytest.raises(ValueError, match="block"):
+            Workload("bad", 64, 64, 64,
+                     structure=BlockSparse(block_k=32, block_n=32,
+                                           mask=((True,),)))
+
+    def test_scaled_rejects_structured_workloads(self):
+        workload = block_sparse_workload(128, 128, 128, density=0.5)
+        with pytest.raises(ValueError, match="dense"):
+            workload.scaled(0.5)
+
+    def test_dict_roundtrip_carries_structure(self):
+        import json
+
+        for workload in (
+            block_sparse_workload(256, 512, 512, density=0.25, seed=1),
+            moe_workload(4, 64, 512, 512, expert_tokens=[64, 5, 9, 1]),
+        ):
+            payload = json.loads(json.dumps(workload.to_dict()))
+            assert payload["schema"] == WORKLOAD_SCHEMA_VERSION
+            assert Workload.from_dict(payload) == workload
+
+    def test_schema_v1_payloads_deserialize_as_dense(self):
+        legacy = {"name": "old", "m": 128, "n": 256, "k": 512}
+        workload = Workload.from_dict(legacy)
+        assert workload.structure.is_dense
+        assert workload == Workload("old", 128, 256, 512)
+
+    def test_unknown_structure_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload structure"):
+            structure_from_dict({"kind": "butterfly"})
 
 
 class TestAspectGrid:

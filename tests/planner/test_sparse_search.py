@@ -1,0 +1,204 @@
+"""The sparse/MoE frontier through the planner: search parity, end-to-end
+service planning, signature bucketing feasibility, and store invalidation."""
+
+import pytest
+
+from repro.bench.workloads import Workload, block_sparse_workload, moe_workload
+from repro.core.config import ExecutionConfig
+from repro.core.structure import BlockSparse, MoERagged
+from repro.planner.cache import PlanEntry
+from repro.planner.search import memory_per_device, search_partitionings
+from repro.planner.service import PlannerService
+from repro.planner.signature import (
+    DEFAULT_BUCKET_RATIO,
+    ProblemSignature,
+    bucket_workload,
+)
+from repro.topology.machines import uniform_system
+
+CONFIG = ExecutionConfig(simulate_only=True)
+MACHINE = uniform_system(4)
+
+
+def _ranking(recommendations):
+    return [(r.scheme.name, r.replication, r.stationary, r.simulated_time)
+            for r in recommendations]
+
+
+def _sparse_grid():
+    return [
+        block_sparse_workload(128, 256, 256, density=0.1, block_k=64,
+                              block_n=64, seed=2),
+        block_sparse_workload(128, 256, 256, density=0.5, block_k=32,
+                              block_n=32, seed=5),
+        moe_workload(4, 64, 256, 128, expert_tokens=[64, 5, 9, 1]),
+        moe_workload(2, 96, 128, 256, expert_tokens=[96, 96]),
+    ]
+
+
+class TestPrunedMatchesExhaustiveOnSparse:
+    @pytest.mark.parametrize("workload", _sparse_grid(), ids=lambda w: w.name)
+    def test_identical_ranking(self, workload):
+        exhaustive, _ = search_partitionings(MACHINE, workload, config=CONFIG,
+                                             prune=False, top_k=3)
+        pruned, stats = search_partitionings(MACHINE, workload, config=CONFIG,
+                                             prune=True, top_k=3)
+        assert _ranking(pruned) == _ranking(exhaustive)
+        assert stats.num_simulated < stats.num_candidates
+
+    def test_search_prefers_different_partitionings_than_envelope(self):
+        """The acceptance headline: sparse structure changes the winner."""
+        sparse = block_sparse_workload(256, 512, 512, density=0.1, block_k=64,
+                                       block_n=64, seed=1)
+        envelope = Workload("env", 256, 512, 512)
+        best_sparse, _ = search_partitionings(MACHINE, sparse, config=CONFIG)
+        best_dense, _ = search_partitionings(MACHINE, envelope, config=CONFIG)
+        assert (best_sparse[0].scheme.name, best_sparse[0].stationary) != (
+            best_dense[0].scheme.name, best_dense[0].stationary)
+
+    def test_ragged_moe_prefers_different_partitionings_than_envelope(self):
+        moe = moe_workload(4, 256, 256, 256, expert_tokens=[256, 20, 20, 20])
+        envelope = Workload("env", 1024, 256, 256)
+        best_moe, _ = search_partitionings(MACHINE, moe, config=CONFIG)
+        best_dense, _ = search_partitionings(MACHINE, envelope, config=CONFIG)
+        assert best_moe[0].scheme.name != best_dense[0].scheme.name
+
+
+class TestPlannerServiceEndToEnd:
+    def test_block_sparse_plans_through_service(self):
+        workload = block_sparse_workload(256, 512, 512, density=0.25,
+                                         block_k=64, block_n=64, seed=1)
+        assert workload.structure.density <= 0.25
+        with PlannerService(MACHINE) as service:
+            response = service.plan(workload)
+            assert response.recommendations
+            assert not response.cache_hit
+            again = service.plan(workload)
+            assert again.cache_hit
+            assert _ranking(again.recommendations) == _ranking(response.recommendations)
+
+    def test_moe_ragged_plans_through_service(self):
+        workload = moe_workload(4, 64, 256, 256, expert_tokens=[64, 3, 7, 2])
+        with PlannerService(MACHINE) as service:
+            response = service.plan(workload)
+            assert response.recommendations
+            assert service.plan(workload).cache_hit
+
+    def test_sparse_and_dense_envelope_never_share_a_cache_entry(self):
+        sparse = block_sparse_workload(256, 512, 512, density=0.25,
+                                       block_k=64, block_n=64, seed=1)
+        envelope = Workload("env", 256, 512, 512)
+        with PlannerService(MACHINE) as service:
+            key_sparse = service.signature_for(sparse).key()
+            key_dense = service.signature_for(envelope).key()
+            assert key_sparse != key_dense
+
+    def test_different_density_buckets_get_distinct_plans(self):
+        lean = block_sparse_workload(256, 512, 512, density=0.1, block_k=64,
+                                     block_n=64, seed=1)
+        rich = block_sparse_workload(256, 512, 512, density=0.8, block_k=64,
+                                     block_n=64, seed=1)
+        with PlannerService(MACHINE) as service:
+            assert service.signature_for(lean).key() != service.signature_for(rich).key()
+
+
+class TestSignatureBucketing:
+    def test_nearby_densities_share_a_bucket(self):
+        # 52 vs 55 live blocks of 8x8=64: within one geometric bucket.
+        near_a = block_sparse_workload(256, 512, 512, density=52 / 64,
+                                       block_k=64, block_n=64, seed=1)
+        near_b = block_sparse_workload(256, 512, 512, density=55 / 64,
+                                       block_k=64, block_n=64, seed=9)
+        sig_a = ProblemSignature.from_request(MACHINE, near_a)
+        sig_b = ProblemSignature.from_request(MACHINE, near_b)
+        assert sig_a.key() == sig_b.key()
+
+    def test_nearby_token_counts_share_a_bucket(self):
+        near_a = moe_workload(4, 64, 256, 256, expert_tokens=[60, 20, 10, 10])
+        near_b = moe_workload(4, 64, 256, 256, expert_tokens=[40, 30, 20, 14])
+        sig_a = ProblemSignature.from_request(MACHINE, near_a)
+        sig_b = ProblemSignature.from_request(MACHINE, near_b)
+        assert sig_a.key() == sig_b.key()
+
+    def test_expert_count_always_separates_buckets(self):
+        four = moe_workload(4, 64, 256, 256, expert_tokens=[32, 32, 32, 32])
+        eight = moe_workload(8, 32, 256, 256, expert_tokens=[16] * 8)
+        assert (ProblemSignature.from_request(MACHINE, four).key()
+                != ProblemSignature.from_request(MACHINE, eight).key())
+
+    @pytest.mark.parametrize("member", _sparse_grid(), ids=lambda w: w.name)
+    def test_bucket_corner_dominates_member_footprint(self, member):
+        """Plans are memory-checked at the corner, so the corner's footprint
+        must bound every member's for every replication choice."""
+        m, n, k, corner_structure = bucket_workload(member, DEFAULT_BUCKET_RATIO)
+        corner = Workload("corner", m, n, k, structure=corner_structure)
+        for factor in (1, 2, 4):
+            for c_factor in (1, 2, 4):
+                replication = (factor, factor, c_factor)
+                assert memory_per_device(member, replication, 4) <= \
+                    memory_per_device(corner, replication, 4)
+
+    def test_corner_preserves_live_counts_at_least(self):
+        member = block_sparse_workload(256, 512, 512, density=0.25,
+                                       block_k=64, block_n=64, seed=1)
+        _, _, _, corner = bucket_workload(member, DEFAULT_BUCKET_RATIO)
+        assert isinstance(corner, BlockSparse)
+        assert corner.live_blocks >= member.structure.live_blocks
+
+        moe = moe_workload(4, 60, 256, 256, expert_tokens=[60, 3, 7, 2])
+        m, _, _, moe_corner = bucket_workload(moe, DEFAULT_BUCKET_RATIO)
+        assert isinstance(moe_corner, MoERagged)
+        assert moe_corner.total_tokens >= moe.structure.total_tokens
+        assert moe_corner.capacity >= moe.structure.capacity
+        assert m == moe_corner.num_experts * moe_corner.capacity
+
+    def test_disabled_bucketing_serves_the_exact_structure(self):
+        """bucket_ratio <= 1 must preserve raggedness/mask bit-for-bit."""
+        moe = moe_workload(4, 64, 256, 256, expert_tokens=[64, 3, 7, 2])
+        m, n, k, structure = bucket_workload(moe, 1.0)
+        assert (m, n, k) == (moe.m, moe.n, moe.k)
+        assert structure == moe.structure
+        sparse = block_sparse_workload(256, 512, 512, density=0.25, seed=1)
+        _, _, _, exact = bucket_workload(sparse, None)
+        assert exact == sparse.structure
+
+    def test_representative_workload_carries_structure(self):
+        workload = moe_workload(4, 64, 256, 256, expert_tokens=[64, 3, 7, 2])
+        signature = ProblemSignature.from_request(MACHINE, workload)
+        representative = signature.representative_workload()
+        assert isinstance(representative.structure, MoERagged)
+        # The representative validates: its envelope matches its structure.
+        representative.structure.validate(representative.m, representative.n,
+                                          representative.k)
+
+
+class TestSparseStoreInvalidation:
+    def test_stale_sparse_entries_dropped_on_load(self, tmp_path):
+        """A sparse plan priced by an older cost-model build must not serve."""
+        path = str(tmp_path / "plans.json")
+        workload = block_sparse_workload(256, 512, 512, density=0.25,
+                                         block_k=64, block_n=64, seed=1)
+        service = PlannerService(MACHINE, store_path=path)
+        service.plan(workload)
+        service.save_store()
+        service.close()
+
+        stale = PlannerService(MACHINE)
+        stale.cost_model_fingerprint = "different-build"
+        assert stale.cache.load(path, fingerprint="different-build") == 0
+
+        fresh = PlannerService(MACHINE, store_path=path)
+        key = fresh.signature_for(workload).key()
+        assert fresh.cache.get(key) is not None
+        assert fresh.plan(workload).cache_hit
+        fresh.close()
+
+    def test_sparse_plan_entries_roundtrip_structure_through_json(self):
+        workload = moe_workload(4, 64, 256, 256, expert_tokens=[64, 3, 7, 2])
+        with PlannerService(MACHINE) as service:
+            response = service.plan(workload)
+            key = response.signature.key()
+            entry = service.cache.get(key)
+        revived = PlanEntry.from_dict(entry.to_dict())
+        assert isinstance(revived.workload.structure, MoERagged)
+        assert revived.workload == entry.workload

@@ -1,0 +1,137 @@
+"""Structured workloads through the event engine: parity and scaling.
+
+The cardinal regression risk of the sparse frontier is drift on *dense*
+workloads: every Workload now carries a structure, so the dense default must
+reproduce the committed pre-change snapshot with **0.0 relative drift** (not
+just within tolerance), and an all-live structured workload — which exercises
+the structured pricing path end to end — must be bit-identical to dense too.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.bench.schemes import scheme_by_name
+from repro.bench.sweep import run_ua_point
+from repro.bench.workloads import (
+    Workload,
+    block_sparse_workload,
+    moe_workload,
+)
+from repro.core.config import ExecutionConfig, ExecutionMode
+from repro.core.structure import DENSE, BlockSparse, MoERagged
+from repro.topology.machines import uniform_system
+
+_BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+)
+SNAPSHOT = os.path.join(_BENCH_DIR, "results", "event_engine_smoke.json")
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    if _BENCH_DIR not in sys.path:
+        sys.path.insert(0, _BENCH_DIR)
+    import bench_event_engine_smoke
+
+    return bench_event_engine_smoke
+
+
+class TestDenseStructureParity:
+    def test_dense_structure_reproduces_snapshot_with_zero_drift(self, smoke):
+        """Every committed point, re-simulated with an explicit dense structure."""
+        with open(SNAPSHOT, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        expected = {smoke._key(record): record for record in payload["points"]}
+        assert len(expected) >= 144
+
+        for record in smoke.compute_points():
+            # compute_points builds workloads whose structure defaults to
+            # DENSE — the post-change code path every dense caller takes.
+            reference = expected[smoke._key(record)]
+            assert record["simulated_time"] == reference["simulated_time"], (
+                smoke._key(record)
+            )
+
+    @pytest.mark.parametrize("mode", ["direct", "ir"])
+    def test_explicit_dense_structure_identical(self, mode):
+        machine = uniform_system(4)
+        config = ExecutionConfig(mode=ExecutionMode(mode), simulate_only=True)
+        defaulted = Workload("w", 96, 160, 224)
+        explicit = Workload("w", 96, 160, 224, structure=DENSE)
+        scheme = scheme_by_name("outer")
+        time_default = run_ua_point(machine, defaulted, scheme, (2, 2, 2), "C",
+                                    config).simulated_time
+        time_explicit = run_ua_point(machine, explicit, scheme, (2, 2, 2), "C",
+                                     config).simulated_time
+        assert time_default == time_explicit
+
+
+class TestAllLiveStructureParity:
+    """An all-live mask / full-capacity batch runs the structured path with
+    every live fraction exactly 1.0 — times must be bit-identical to dense."""
+
+    MACHINE = uniform_system(4)
+    CONFIG = ExecutionConfig(simulate_only=True)
+
+    @pytest.mark.parametrize("scheme", ["column", "row", "outer"])
+    @pytest.mark.parametrize("stationary", ["A", "B", "C"])
+    def test_all_live_block_mask_is_bit_exact(self, scheme, stationary):
+        dense = Workload("env", 128, 192, 256)
+        full = block_sparse_workload(128, 192, 256, density=1.0,
+                                     block_k=64, block_n=64)
+        assert isinstance(full.structure, BlockSparse)
+        assert full.structure.density == 1.0
+        t_dense = run_ua_point(self.MACHINE, dense, scheme_by_name(scheme),
+                               (2, 2, 2), stationary, self.CONFIG).simulated_time
+        t_full = run_ua_point(self.MACHINE, full, scheme_by_name(scheme),
+                              (2, 2, 2), stationary, self.CONFIG).simulated_time
+        assert t_full == t_dense
+
+    @pytest.mark.parametrize("scheme", ["column", "row", "outer"])
+    def test_full_capacity_moe_is_bit_exact(self, scheme):
+        dense = Workload("env", 128, 192, 256)
+        full = moe_workload(4, 32, 192, 256, expert_tokens=[32, 32, 32, 32])
+        assert isinstance(full.structure, MoERagged)
+        assert full.structure.utilization == 1.0
+        t_dense = run_ua_point(self.MACHINE, dense, scheme_by_name(scheme),
+                               (2, 2, 2), "C", self.CONFIG).simulated_time
+        t_full = run_ua_point(self.MACHINE, full, scheme_by_name(scheme),
+                              (2, 2, 2), "C", self.CONFIG).simulated_time
+        assert t_full == t_dense
+
+
+class TestStructuredExecutionGuards:
+    def test_structured_requires_simulate_only(self):
+        machine = uniform_system(2)
+        workload = block_sparse_workload(64, 64, 64, density=0.5, block_k=32,
+                                         block_n=32)
+        with pytest.raises(ValueError, match="simulate_only"):
+            run_ua_point(machine, workload, scheme_by_name("column"), (1, 1, 1),
+                         "C", ExecutionConfig())
+
+    def test_structured_rejects_ir_mode(self):
+        machine = uniform_system(2)
+        workload = moe_workload(2, 32, 64, 64, expert_tokens=[32, 5])
+        config = ExecutionConfig(mode=ExecutionMode.IR, simulate_only=True)
+        with pytest.raises(ValueError, match="direct"):
+            run_ua_point(machine, workload, scheme_by_name("column"), (1, 1, 1),
+                         "C", config)
+
+    def test_fully_masked_tiles_cost_nothing_extra(self):
+        """Sparser masks shed both simulated time and modelled traffic."""
+        machine = uniform_system(4)
+        config = ExecutionConfig(simulate_only=True)
+        lean = block_sparse_workload(128, 256, 256, density=0.1, block_k=64,
+                                     block_n=64, seed=3)
+        rich = block_sparse_workload(128, 256, 256, density=0.8, block_k=64,
+                                     block_n=64, seed=3)
+        p_lean = run_ua_point(machine, lean, scheme_by_name("row"), (1, 1, 1),
+                              "B", config)
+        p_rich = run_ua_point(machine, rich, scheme_by_name("row"), (1, 1, 1),
+                              "B", config)
+        assert p_lean.simulated_time < p_rich.simulated_time
+        assert p_lean.extra["remote_get_bytes"] < p_rich.extra["remote_get_bytes"]
