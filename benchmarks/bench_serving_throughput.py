@@ -1,0 +1,229 @@
+"""Serving throughput: requests/s through the multi-process PlanServer fleet.
+
+For each worker count the benchmark starts a real :class:`PlanServer`
+(forked workers, Unix socket, framed JSON protocol), drives it with one
+pooled :class:`PlanClient` connection per worker, and measures:
+
+* **cold** round — every worker computes the plan from scratch (cache miss,
+  pruned search) for each workload;
+* **warm** round — repeated concurrent requests answered from the per-worker
+  plan caches (this is the serving hot path: requests/s vs. worker count).
+
+The committed snapshot at ``benchmarks/results/serving_throughput.json``
+pins what is *deterministic* about serving — the winning plan each fleet
+returns (which must also equal the in-process :class:`PlannerService`
+answer: the process boundary may not change a single recommendation), the
+request accounting (every request answered, hits spread across every
+worker), and the simulated time of the winner.  Throughput numbers are
+recorded for trend-watching but not drift-checked (wall clock is machine
+dependent).
+
+CI runs ``--check`` on every push; run ``--write`` only for a deliberate
+cost-model or search change, and say so in the commit.
+
+Usage:
+    python benchmarks/bench_serving_throughput.py --check   # default
+    python benchmarks/bench_serving_throughput.py --write
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+_BENCH = os.path.dirname(os.path.abspath(__file__))
+if _BENCH not in sys.path:
+    sys.path.insert(0, _BENCH)
+
+from harness_common import check_snapshot_file, snapshot_cli, write_snapshot_file, write_result
+
+from repro.bench.workloads import attention_workload, mlp1_workload
+from repro.planner import PlannerService
+from repro.serve import PlanClient, PlanServer
+from repro.topology.machines import uniform_system
+
+SNAPSHOT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "serving_throughput.json"
+)
+RELATIVE_TOLERANCE = 1.0e-9
+
+#: Fleet sizes measured (requests/s should grow with workers on warm traffic).
+WORKER_COUNTS = (1, 2, 4)
+
+#: Warm requests per (workload, fleet) measurement.
+WARM_REQUESTS = 64
+
+_MACHINE_NAME = "uniform4"
+_SERVICE_OPTIONS = {"replication_factors": [1, 2]}
+
+
+def _machine():
+    return uniform_system(4)
+
+
+def _workloads():
+    return [attention_workload(256), mlp1_workload(1024)]
+
+
+def measure_fleet(num_workers: int, warm_requests: int = WARM_REQUESTS) -> list:
+    """Serve every workload through a ``num_workers`` fleet; one record each."""
+    machine = _machine()
+    workloads = _workloads()
+    reference = {}
+    with PlannerService(machine, **_SERVICE_OPTIONS) as service:
+        for workload in workloads:
+            reference[workload.name] = service.plan(workload).recommendation
+
+    records = []
+    with PlanServer(machine, num_workers=num_workers,
+                    service_options=_SERVICE_OPTIONS) as server:
+        # One client per worker (consecutive connects round-robin), and each
+        # client driven by exactly ONE thread: its single pooled connection
+        # stays pinned to its worker, so the cold/warm accounting is fully
+        # deterministic (sharing a client across threads would open extra
+        # connections that land on arbitrary workers).
+        clients = [PlanClient(server.address) for _ in range(num_workers)]
+        try:
+            with ThreadPoolExecutor(max_workers=num_workers) as pool:
+                for workload in workloads:
+                    started = time.perf_counter()
+                    cold = list(pool.map(lambda c: c.plan(workload), clients))
+                    cold_seconds = time.perf_counter() - started
+
+                    per_client = max(1, warm_requests // num_workers)
+
+                    def warm_burst(client):
+                        return [client.plan(workload) for _ in range(per_client)]
+
+                    started = time.perf_counter()
+                    warm = [response
+                            for burst in pool.map(warm_burst, clients)
+                            for response in burst]
+                    warm_seconds = time.perf_counter() - started
+
+                    best = cold[0].recommendation
+                    want = reference[workload.name]
+                    if best.plan_key() != want.plan_key():
+                        raise AssertionError(
+                            f"served plan deviates from in-process reference "
+                            f"for {workload.name}: {best} vs {want}")
+                    answers = {r.recommendation.plan_key() for r in cold + warm}
+                    if len(answers) != 1:
+                        raise AssertionError(
+                            f"shared-nothing workers disagreed on "
+                            f"{workload.name}: {sorted(answers)}")
+
+                    warm_hits = sum(r.cache_hit for r in warm)
+                    records.append({
+                        "machine": _MACHINE_NAME,
+                        "workload": workload.name,
+                        "num_workers": num_workers,
+                        "scheme": best.scheme.name,
+                        "replication": list(best.replication),
+                        "stationary": best.stationary,
+                        "simulated_time": best.simulated_time,
+                        "percent_of_peak": best.percent_of_peak,
+                        "warm_requests": len(warm),
+                        "warm_hits": warm_hits,
+                        "workers_served": len({r.worker for r in cold + warm}),
+                        "matches_in_process": True,
+                        # informational (machine-dependent, not drift-checked):
+                        "cold_round_ms": cold_seconds * 1e3,
+                        "warm_requests_per_s": (len(warm) / warm_seconds
+                                                if warm_seconds > 0 else float("inf")),
+                    })
+        finally:
+            for client in clients:
+                client.close()
+
+        stats = server.aggregate_stats()
+        expected = sum(r["warm_requests"] for r in records
+                       if r["num_workers"] == num_workers) + \
+            num_workers * len(workloads)
+        if stats.totals.requests != expected:
+            raise AssertionError(
+                f"request accounting drifted: fleet counted "
+                f"{stats.totals.requests}, clients issued {expected}")
+        if stats.workers_with_hits != num_workers:
+            raise AssertionError(
+                f"warm traffic reached {stats.workers_with_hits} of "
+                f"{num_workers} workers")
+    return records
+
+
+def compute_points() -> list:
+    """The full measurement grid, in a fixed order."""
+    records = []
+    for num_workers in WORKER_COUNTS:
+        records.extend(measure_fleet(num_workers))
+    return records
+
+
+def _key(record: dict) -> tuple:
+    return (record["machine"], record["workload"], record["num_workers"])
+
+
+def _winner(record: dict) -> tuple:
+    return (record["scheme"], tuple(record["replication"]), record["stationary"])
+
+
+def render(records: list) -> str:
+    """Human-readable requests/s table (warm path, by worker count)."""
+    lines = ["serving throughput through the PlanServer fleet (warm plan cache)",
+             ""]
+    lines.append(f"{'workload':<24} {'workers':>7} {'cold round':>11} "
+                 f"{'warm req/s':>11}  winner")
+    for record in records:
+        winner = (f"{record['scheme']}/{record['replication']}/"
+                  f"{record['stationary']}")
+        lines.append(
+            f"{record['workload']:<24} {record['num_workers']:>7} "
+            f"{record['cold_round_ms']:>9.1f}ms "
+            f"{record['warm_requests_per_s']:>11.0f}  {winner}"
+        )
+    lines.append("")
+    lines.append("every served plan identical to the in-process PlannerService; "
+                 "warm hits on every worker")
+    return "\n".join(lines)
+
+
+def write_snapshot(path: str = SNAPSHOT_PATH) -> str:
+    records = compute_points()
+    write_snapshot_file(path, records, RELATIVE_TOLERANCE)
+    text = render(records)
+    print(text)
+    write_result("serving_throughput", text)
+    return path
+
+
+def _serving_mismatch(record: dict, reference: dict):
+    if _winner(record) != _winner(reference):
+        return (f"WINNER CHANGED: snapshot {_winner(reference)} "
+                f"vs served {_winner(record)} at")
+    if record["workers_served"] < reference["num_workers"]:
+        return (f"FLEET COVERAGE LOST: {record['workers_served']} of "
+                f"{reference['num_workers']} workers served at")
+    if record["warm_hits"] != reference["warm_hits"]:
+        return (f"WARM HIT ACCOUNTING CHANGED: snapshot {reference['warm_hits']} "
+                f"vs served {record['warm_hits']} at")
+    return None
+
+
+def check_snapshot(path: str = SNAPSHOT_PATH) -> int:
+    """Compare a fresh serving run (winners, accounting, times) to the snapshot."""
+    return check_snapshot_file(path, compute_points(), _key, RELATIVE_TOLERANCE,
+                               label="serving throughput",
+                               extra_mismatch=_serving_mismatch)
+
+
+def main(argv=None) -> int:
+    return snapshot_cli(__doc__, SNAPSHOT_PATH, write_snapshot, check_snapshot, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

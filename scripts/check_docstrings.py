@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate (interrogate-style, stdlib only).
+
+Walks the given source trees and computes what fraction of public objects —
+modules, classes, functions, and methods whose names do not start with an
+underscore (dunders are excluded) — carry a docstring.  Fails (exit 1) when
+coverage lands under the threshold.
+
+Usage:
+    python scripts/check_docstrings.py --threshold 90 src/repro/planner src/repro/serve
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+
+def iter_python_files(paths: List[str]) -> Iterator[str]:
+    """Yield every .py file under the given files/directories."""
+    for path in paths:
+        if os.path.isfile(path) and path.endswith(".py"):
+            yield path
+            continue
+        for root, _dirs, files in os.walk(path):
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def is_public(name: str) -> bool:
+    """Public means no leading underscore; dunders are infrastructure."""
+    return not name.startswith("_")
+
+
+def audit_file(path: str) -> Tuple[int, int, List[str]]:
+    """Count (documented, total) public objects in one file.
+
+    Returns:
+        ``(documented, total, missing)`` where ``missing`` lists the
+        qualified names lacking docstrings.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+
+    documented = 0
+    total = 0
+    missing: List[str] = []
+
+    def visit(node: ast.AST, qualifier: str, public_scope: bool) -> None:
+        nonlocal documented, total
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                public = public_scope and is_public(child.name)
+                name = f"{qualifier}{child.name}"
+                if public:
+                    total += 1
+                    if ast.get_docstring(child):
+                        documented += 1
+                    else:
+                        missing.append(name)
+                # Count methods of public classes; skip bodies of private
+                # scopes and nested function internals entirely.
+                if isinstance(child, ast.ClassDef):
+                    visit(child, f"{name}.", public)
+
+    total += 1  # the module itself
+    if ast.get_docstring(tree):
+        documented += 1
+    else:
+        missing.append("(module docstring)")
+    visit(tree, "", True)
+    return documented, total, missing
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="source files or directories to audit")
+    parser.add_argument("--threshold", type=float, default=90.0,
+                        help="minimum documented percentage (default 90)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every undocumented object")
+    args = parser.parse_args(argv)
+
+    grand_documented = 0
+    grand_total = 0
+    failures: List[str] = []
+    for path in iter_python_files(args.paths):
+        documented, total, missing = audit_file(path)
+        grand_documented += documented
+        grand_total += total
+        pct = 100.0 * documented / total if total else 100.0
+        print(f"{pct:6.1f}%  {documented:3d}/{total:<3d}  {path}")
+        for name in missing:
+            failures.append(f"{path}: {name}")
+            if args.verbose:
+                print(f"         missing: {name}")
+
+    coverage = 100.0 * grand_documented / grand_total if grand_total else 100.0
+    print(f"\ntotal docstring coverage: {coverage:.1f}% "
+          f"({grand_documented}/{grand_total} public objects), "
+          f"threshold {args.threshold:.0f}%")
+    if coverage < args.threshold:
+        print("\nundocumented:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

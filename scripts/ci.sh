@@ -21,13 +21,26 @@ echo "== example smoke: planner service =="
 python examples/planner_service.py --family attention --system uniform \
   --devices 4 --sizes 256 --top-k 2
 
+echo "== example smoke: planner server (multi-process fleet) =="
+python examples/planner_server.py --workers 2 --family attention \
+  --sizes 256 --requests 8
+
 echo "== benchmark smoke: planner throughput (fast mode) =="
 python benchmarks/bench_planner_throughput.py --fast
+
+echo "== benchmark smoke: serving throughput check (fleet vs snapshot) =="
+python benchmarks/bench_serving_throughput.py --check
 
 echo "== benchmark smoke: event-engine drift check =="
 python benchmarks/bench_event_engine_smoke.py --check
 
 echo "== benchmark smoke: sparse/MoE sweep drift check =="
 python benchmarks/bench_sparse_sweep.py --check
+
+echo "== docs: markdown link check + serving.md snippet smoke =="
+python scripts/check_docs.py
+
+echo "== docs: docstring coverage gate (planner + serve >= 90%) =="
+python scripts/check_docstrings.py --threshold 90 src/repro/planner src/repro/serve
 
 echo "CI passed."

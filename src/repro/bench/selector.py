@@ -43,6 +43,17 @@ class PartitioningRecommendation:
     simulated_time: float
     memory_per_device: int
 
+    def plan_key(self) -> Tuple[str, Tuple[int, int, int], str, float]:
+        """Identity of the *plan* this recommendation picks.
+
+        Two recommendations with equal keys choose the same partitioning at
+        the same simulated cost — the comparison the serving example and the
+        serving drift benchmark both rely on, kept in one place so their
+        notions of "identical plan" cannot diverge.
+        """
+        return (self.scheme.name, self.replication, self.stationary,
+                self.simulated_time)
+
     def describe(self) -> str:
         rep_a, rep_b, rep_c = self.replication
         return (

@@ -1,13 +1,25 @@
-"""Plan cache: thread-safe LRU memoization plus a persistent JSON store.
+"""Plan cache: a bounded, TTL-evicting LRU store with JSON persistence.
 
 The cache maps :meth:`ProblemSignature.key` strings to :class:`PlanEntry`
 values (the ranked recommendations computed by the search).  Serving traffic
 is read-heavy and highly repetitive, so the hot path is a single ordered-dict
 lookup under a lock; hit/miss/eviction counters make cache sizing observable.
 
+Long-lived serving workers mean the store must be **bounded**: in addition to
+the entry-count capacity, the cache can enforce a byte budget (``max_bytes``,
+measured as the JSON-serialized footprint of each entry — the same bytes the
+on-disk store would occupy) and a per-entry time-to-live (``ttl_seconds``).
+Over-budget inserts evict in LRU order; expired entries are dropped lazily on
+access and eagerly on load, and both show up in the counters
+(:attr:`CacheStats.evictions` / :attr:`CacheStats.expirations`).
+
 The JSON store gives warm starts across processes: a service can
 :meth:`~PlanCache.save` its cache on shutdown and :meth:`~PlanCache.load` it
-at boot, skipping every simulation for previously planned signatures.
+at boot, skipping every simulation for previously planned signatures.  The
+store mirrors the in-memory bounds: entries persist in LRU-to-MRU order with
+their creation timestamps (schema v3), so a reloaded cache evicts and expires
+exactly as the original would have.  Version-2 stores (which predate the
+timestamps) migrate on load — their entries are re-stamped at load time.
 Entries referencing partitioning schemes unknown to this build (e.g. a store
 written by a newer version) are skipped rather than failing the load.
 
@@ -25,18 +37,24 @@ import json
 import os
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.bench.schemes import scheme_by_name
 from repro.bench.selector import PartitioningRecommendation
 from repro.bench.workloads import Workload
 
-#: Schema version of the persistent plan store.  Version 2 added the
-#: cost-model fingerprint stamps; version-1 stores predate them and are
-#: treated as entirely stale.
-STORE_VERSION = 2
+#: Schema version of the persistent plan store.  Version 3 added per-entry
+#: creation timestamps (for TTL eviction across processes); version 2 added
+#: the cost-model fingerprint stamps.  Version-2 stores still load (their
+#: entries are re-stamped at load time); version-1 stores predate the
+#: fingerprints and are treated as entirely stale.
+STORE_VERSION = 3
+
+#: Older schema versions :meth:`PlanCache.load` still accepts (by migration).
+LEGACY_STORE_VERSIONS = (2,)
 
 
 def recommendation_to_dict(rec: PartitioningRecommendation) -> Dict[str, object]:
@@ -80,9 +98,11 @@ class PlanEntry:
 
     @property
     def best(self) -> PartitioningRecommendation:
+        """The top-ranked recommendation."""
         return self.recommendations[0]
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form of the entry (inverse of :meth:`from_dict`)."""
         return {
             "recommendations": [recommendation_to_dict(r) for r in self.recommendations],
             "workload": self.workload.to_dict() if self.workload is not None else None,
@@ -93,6 +113,7 @@ class PlanEntry:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "PlanEntry":
+        """Rebuild an entry from :meth:`to_dict` output (raises on unknown schemes)."""
         workload = payload.get("workload")
         fingerprint = payload.get("fingerprint")
         return cls(
@@ -114,61 +135,176 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    #: Entries dropped because their TTL elapsed (on access or on load).
+    expirations: int = 0
     size: int = 0
     capacity: int = 0
+    #: Serialized footprint of all resident entries, in bytes.
+    total_bytes: int = 0
+    #: The configured byte budget (``None`` means unbounded).
+    max_bytes: Optional[int] = None
+    #: The configured per-entry time-to-live (``None`` means entries never expire).
+    ttl_seconds: Optional[float] = None
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when idle)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
 
-class PlanCache:
-    """Thread-safe LRU cache of :class:`PlanEntry` keyed by signature strings."""
+class _Slot:
+    """Internal cache slot: the entry plus its bookkeeping (age and footprint)."""
 
-    def __init__(self, capacity: int = 256) -> None:
+    __slots__ = ("entry", "created_at", "size_bytes")
+
+    def __init__(self, entry: PlanEntry, created_at: float, size_bytes: int) -> None:
+        self.entry = entry
+        self.created_at = created_at
+        self.size_bytes = size_bytes
+
+
+def entry_size_bytes(entry: PlanEntry) -> int:
+    """Serialized footprint of one entry — the bytes it would occupy on disk.
+
+    This is the unit the ``max_bytes`` budget is charged in, so the in-memory
+    bound and the persistent store's size agree (up to the fixed framing
+    overhead of the store envelope).
+    """
+    return len(json.dumps(entry.to_dict(), separators=(",", ":")).encode("utf-8"))
+
+
+class PlanCache:
+    """Thread-safe bounded LRU cache of :class:`PlanEntry` keyed by signatures.
+
+    Three independent bounds keep long-lived workers from growing without
+    limit; any combination may be active:
+
+    * ``capacity`` — maximum number of resident entries (LRU eviction);
+    * ``max_bytes`` — maximum summed :func:`entry_size_bytes` footprint
+      (LRU eviction; the most recent insert itself is always admitted, so a
+      single oversized entry occupies the cache alone rather than deadlocking
+      every put);
+    * ``ttl_seconds`` — per-entry time-to-live measured from insertion;
+      expired entries are dropped lazily on :meth:`get` and eagerly on
+      :meth:`load`, and count as misses (plus the ``expirations`` counter).
+
+    ``clock`` is injectable for tests; it must return seconds as a float and
+    defaults to :func:`time.time` (wall clock, so TTLs survive the on-disk
+    round trip across processes).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        max_bytes: Optional[int] = None,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be > 0, got {ttl_seconds}")
         self.capacity = capacity
-        self._entries: "OrderedDict[str, PlanEntry]" = OrderedDict()
+        self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: "OrderedDict[str, _Slot]" = OrderedDict()
+        self._total_bytes = 0
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._puts = 0
         self._evictions = 0
+        self._expirations = 0
 
     # ------------------------------------------------------------------ #
     # lookup / insert
     # ------------------------------------------------------------------ #
+    def _expired(self, slot: _Slot, now: float) -> bool:
+        return self.ttl_seconds is not None and now - slot.created_at > self.ttl_seconds
+
+    def _drop(self, key: str) -> None:
+        slot = self._entries.pop(key)
+        self._total_bytes -= slot.size_bytes
+
     def get(self, key: str) -> Optional[PlanEntry]:
-        """Return the entry for ``key`` (refreshing its recency) or ``None``."""
+        """Return the entry for ``key`` (refreshing its recency) or ``None``.
+
+        An entry whose TTL has elapsed is dropped and reported as a miss —
+        the caller re-plans exactly as it would for a key never seen.
+        """
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
+            slot = self._entries.get(key)
+            if slot is None:
+                self._misses += 1
+                return None
+            if self._expired(slot, self._clock()):
+                self._drop(key)
+                self._expirations += 1
                 self._misses += 1
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
-            return entry
+            return slot.entry
 
-    def put(self, key: str, entry: PlanEntry) -> None:
-        """Insert/refresh an entry, evicting least-recently-used beyond capacity."""
+    def put(self, key: str, entry: PlanEntry, *, created_at: Optional[float] = None) -> None:
+        """Insert/refresh an entry, evicting least-recently-used beyond the bounds.
+
+        Args:
+            key: the signature key the entry is cached under.
+            entry: the planning outcome to cache.
+            created_at: TTL epoch for the entry; defaults to "now".  The load
+                path passes the persisted timestamp through so an entry's age
+                survives the on-disk round trip.
+        """
+        size = entry_size_bytes(entry)
         with self._lock:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
+            if key in self._entries:
+                self._drop(key)
+            self._entries[key] = _Slot(entry, self._clock() if created_at is None else created_at,
+                                       size)
+            self._total_bytes += size
             self._puts += 1
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            while len(self._entries) > self.capacity or (
+                self.max_bytes is not None
+                and self._total_bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                evicted_key = next(iter(self._entries))
+                self._drop(evicted_key)
                 self._evictions += 1
+
+    def prune_expired(self) -> int:
+        """Eagerly drop every expired entry; returns how many were dropped.
+
+        :meth:`get` already drops lazily, so calling this is optional — it
+        exists for long-idle services that want ``stats().size`` to reflect
+        only live entries (e.g. before a :meth:`save`).
+        """
+        with self._lock:
+            now = self._clock()
+            stale = [key for key, slot in self._entries.items() if self._expired(slot, now)]
+            for key in stale:
+                self._drop(key)
+            self._expirations += len(stale)
+            return len(stale)
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        """Presence check that does not touch recency or counters."""
+        """Presence check that does not touch recency or counters.
+
+        Expired-but-not-yet-collected entries count as absent.
+        """
         with self._lock:
-            return key in self._entries
+            slot = self._entries.get(key)
+            return slot is not None and not self._expired(slot, self._clock())
 
     def keys(self) -> List[str]:
         """Keys in LRU-to-MRU order (the order persisted by :meth:`save`)."""
@@ -176,26 +312,43 @@ class PlanCache:
             return list(self._entries.keys())
 
     def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
         with self._lock:
             self._entries.clear()
+            self._total_bytes = 0
 
     def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss/eviction/expiration counters and bounds."""
         with self._lock:
             return CacheStats(hits=self._hits, misses=self._misses, puts=self._puts,
-                              evictions=self._evictions, size=len(self._entries),
-                              capacity=self.capacity)
+                              evictions=self._evictions, expirations=self._expirations,
+                              size=len(self._entries), capacity=self.capacity,
+                              total_bytes=self._total_bytes, max_bytes=self.max_bytes,
+                              ttl_seconds=self.ttl_seconds)
 
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
     def save(self, path: str) -> str:
-        """Write all entries to a JSON store (atomically via rename)."""
+        """Write all entries to a JSON store (atomically via rename).
+
+        Entries persist in LRU-to-MRU order with their creation timestamps,
+        so a cache reloaded from the store evicts and expires in the same
+        order the original would have.
+
+        Args:
+            path: destination file (parent directories are created).
+
+        Returns:
+            The path written.
+        """
         with self._lock:
             payload = {
                 "version": STORE_VERSION,
+                "saved_at": self._clock(),
                 "entries": [
-                    {"key": key, "plan": entry.to_dict()}
-                    for key, entry in self._entries.items()
+                    {"key": key, "created_at": slot.created_at, "plan": slot.entry.to_dict()}
+                    for key, slot in self._entries.items()
                 ],
             }
         directory = os.path.dirname(os.path.abspath(path))
@@ -207,7 +360,11 @@ class PlanCache:
                                         suffix=".tmp", dir=directory)
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2)
+                # Compact separators keep the on-disk size aligned with the
+                # max_bytes accounting (entry_size_bytes measures compact
+                # JSON); pretty-printing would inflate the store well past
+                # the configured budget.
+                json.dump(payload, handle, separators=(",", ":"))
                 handle.write("\n")
             os.replace(tmp_path, path)
         except BaseException:
@@ -223,19 +380,31 @@ class PlanCache:
 
         Missing files, version mismatches, and malformed/unknown-scheme
         entries are tolerated (a cold cache is always a safe fallback).
+        Version-2 stores (no timestamps) migrate transparently: their entries
+        are stamped ``created_at = now``, so a TTL measures from the load.
 
         When ``fingerprint`` is given (the serving cost model's digest),
         entries stamped with a *different* fingerprint — or none at all — are
         stale and silently skipped: a cached plan priced by an older cost
         model must not be served as if it were current.
+
+        Entries whose TTL already elapsed (per this cache's ``ttl_seconds``
+        and the persisted ``created_at``) are dropped on load and counted as
+        expirations rather than occupying space only to expire on first
+        access.  Entries load in store order (LRU first), so the merged cache
+        preserves the saved recency ranking and the usual bounds apply.
         """
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
             return 0
-        if not isinstance(payload, dict) or payload.get("version") != STORE_VERSION:
+        if not isinstance(payload, dict):
             return 0
+        version = payload.get("version")
+        if version != STORE_VERSION and version not in LEGACY_STORE_VERSIONS:
+            return 0
+        now = self._clock()
         loaded = 0
         for item in payload.get("entries", []):
             try:
@@ -247,6 +416,15 @@ class PlanCache:
                 continue
             if fingerprint is not None and entry.fingerprint != fingerprint:
                 continue
-            self.put(str(key), entry)
+            raw_created = item.get("created_at")
+            try:
+                created_at = now if raw_created is None else float(raw_created)
+            except (TypeError, ValueError):
+                created_at = now
+            if self.ttl_seconds is not None and now - created_at > self.ttl_seconds:
+                with self._lock:
+                    self._expirations += 1
+                continue
+            self.put(str(key), entry, created_at=created_at)
             loaded += 1
         return loaded

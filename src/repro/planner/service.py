@@ -83,6 +83,7 @@ class ServiceStats:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of requests answered from the plan cache (0.0 when idle)."""
         return self.cache_hits / self.requests if self.requests else 0.0
 
 
@@ -115,6 +116,8 @@ class PlannerService:
         prune: bool = True,
         config: Optional[ExecutionConfig] = None,
         cache_capacity: int = 256,
+        cache_max_bytes: Optional[int] = None,
+        cache_ttl_seconds: Optional[float] = None,
         store_path: Optional[str] = None,
         autosave: bool = False,
         max_workers: int = 4,
@@ -134,7 +137,8 @@ class PlannerService:
         self.bucket_ratio = bucket_ratio
         self.prune = prune
         self.config = config or ExecutionConfig(simulate_only=True)
-        self.cache = PlanCache(cache_capacity)
+        self.cache = PlanCache(cache_capacity, max_bytes=cache_max_bytes,
+                               ttl_seconds=cache_ttl_seconds)
         self.store_path = store_path
         self.autosave = autosave
         self._max_workers = max_workers

@@ -1,0 +1,58 @@
+"""Multi-process plan serving: the shared-nothing front over the planner.
+
+PR 2 made plan selection a thread-safe in-process service
+(:class:`~repro.planner.service.PlannerService`); this package makes it a
+*deployable* one.  :class:`~repro.serve.server.PlanServer` pre-forks N
+workers — each owning a private planner service, plan cache, and simulated
+runtimes — behind one Unix/TCP listening socket whose connections the parent
+deals round-robin; :class:`~repro.serve.client.PlanClient` talks to it over
+a length-prefixed JSON protocol (:mod:`repro.serve.protocol`) with
+connection pooling and transport retries; :mod:`repro.serve.stats`
+aggregates per-worker counters into the fleet-wide view.
+
+See ``docs/serving.md`` for the quickstart, the protocol specification, and
+the plan-store eviction knobs long-lived workers should set.
+"""
+
+from repro.serve.client import PlanClient, RemotePlanError
+from repro.serve.protocol import (
+    MAX_MESSAGE_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    RemotePlanResponse,
+    encode_frame,
+    error_response,
+    ok_response,
+    ping_request,
+    plan_request,
+    plan_response_payload,
+    recv_message,
+    send_frame,
+    send_message,
+    stats_request,
+)
+from repro.serve.server import PlanServer
+from repro.serve.stats import ServerStats, WorkerStats, aggregate_service_stats
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "FrameDecoder",
+    "ProtocolError",
+    "RemotePlanResponse",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "ping_request",
+    "plan_request",
+    "plan_response_payload",
+    "recv_message",
+    "send_frame",
+    "send_message",
+    "stats_request",
+    "PlanClient",
+    "RemotePlanError",
+    "PlanServer",
+    "ServerStats",
+    "WorkerStats",
+    "aggregate_service_stats",
+]

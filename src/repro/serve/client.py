@@ -1,0 +1,224 @@
+"""PlanClient: pooled, retrying access to a :class:`~repro.serve.server.PlanServer`.
+
+The client keeps a small LIFO pool of connections (each pinned — by the
+server's round-robin accept dispatch — to one worker), reuses them across
+requests, and transparently reconnects-and-retries on transport failures.
+Server-side failures (an exception raised while planning) are **not**
+retried: they travel back as typed error responses and re-raise here as
+:class:`RemotePlanError` — a deterministic planning error would fail
+identically on every worker.
+
+Thread-safe: concurrent callers draw distinct pooled connections, so a
+multi-threaded client naturally exercises several workers at once.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Dict, Optional, Tuple, Union
+
+from repro.bench.workloads import Workload
+from repro.serve import protocol
+from repro.serve.protocol import RemotePlanResponse
+from repro.serve.stats import WorkerStats
+
+Address = Union[str, Tuple[str, int]]
+
+
+class RemotePlanError(RuntimeError):
+    """A failure raised server-side while answering a request.
+
+    Attributes:
+        error_type: the server-side exception's class name.
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+
+
+class PlanClient:
+    """Connection-pooled client for the plan-serving protocol.
+
+    Args:
+        address: the server's resolved endpoint — a Unix socket path or a
+            ``(host, port)`` tuple (i.e. ``PlanServer.address``).
+        pool_size: how many idle connections to retain for reuse; extra
+            connections are opened under concurrency and closed on release.
+        retries: how many times a request is retried on *transport* failures
+            (connection refused/reset, truncated frames); each retry opens a
+            fresh connection.
+        retry_delay: base back-off between retries, doubled per attempt.
+        timeout: per-operation socket timeout in seconds.
+
+    Use as a context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        *,
+        pool_size: int = 4,
+        retries: int = 2,
+        retry_delay: float = 0.05,
+        timeout: float = 30.0,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.address = address
+        self.pool_size = pool_size
+        self.retries = retries
+        self.retry_delay = retry_delay
+        self.timeout = timeout
+        # maxsize makes the retain-or-close decision atomic (a bare qsize()
+        # check would race under concurrent releases and overfill the pool).
+        self._pool: "queue.LifoQueue[socket.socket]" = queue.LifoQueue(maxsize=pool_size)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._transport_retries = 0
+
+    # ------------------------------------------------------------------ #
+    # connections
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> socket.socket:
+        """Open one fresh connection to the server."""
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.address)
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    def _acquire(self) -> socket.socket:
+        try:
+            return self._pool.get_nowait()
+        except queue.Empty:
+            return self._connect()
+
+    def _release(self, sock: socket.socket) -> None:
+        if not self._closed:
+            try:
+                self._pool.put_nowait(sock)
+            except queue.Full:
+                self._close_socket(sock)
+                return
+            # close() may have drained the pool between our _closed check and
+            # the put; drain again so no live fd survives in a closed client.
+            if self._closed:
+                self._drain_pool()
+            return
+        self._close_socket(sock)
+
+    def _drain_pool(self) -> None:
+        while True:
+            try:
+                sock = self._pool.get_nowait()
+            except queue.Empty:
+                return
+            self._close_socket(sock)
+
+    @staticmethod
+    def _close_socket(sock: socket.socket) -> None:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    # ------------------------------------------------------------------ #
+    # request plumbing
+    # ------------------------------------------------------------------ #
+    def _request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """One request/response round trip with transport-failure retries."""
+        if self._closed:
+            raise RuntimeError("PlanClient is closed")
+        # Encode before the retry loop: an oversized payload is a caller
+        # error, not a transport failure, and must raise immediately rather
+        # than burn retries against healthy connections.
+        frame = protocol.encode_frame(payload)
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                with self._lock:
+                    self._transport_retries += 1
+                time.sleep(self.retry_delay * (2 ** (attempt - 1)))
+            try:
+                sock = self._acquire()
+            except OSError as error:
+                last_error = error
+                continue
+            try:
+                protocol.send_frame(sock, frame, timeout=self.timeout)
+                message = protocol.recv_message(sock)
+            except (OSError, protocol.ProtocolError) as error:
+                self._close_socket(sock)
+                last_error = error
+                continue
+            if message is None:  # orderly close mid-conversation: retryable
+                self._close_socket(sock)
+                last_error = protocol.ProtocolError(
+                    "server closed the connection before answering")
+                continue
+            self._release(sock)
+            if not message.get("ok"):
+                detail = message.get("error") or {}
+                raise RemotePlanError(str(detail.get("type", "Error")),  # type: ignore[union-attr]
+                                      str(detail.get("message", "")))  # type: ignore[union-attr]
+            return message["result"]  # type: ignore[return-value]
+        raise ConnectionError(
+            f"request failed after {self.retries + 1} attempts: {last_error}"
+        ) from last_error
+
+    # ------------------------------------------------------------------ #
+    # API
+    # ------------------------------------------------------------------ #
+    def plan(self, workload: Workload, *, top_k: Optional[int] = None) -> RemotePlanResponse:
+        """Request a plan for ``workload`` (ranked recommendations).
+
+        Args:
+            workload: the problem to partition (structure travels along).
+            top_k: how many ranked plans to return (server default if None).
+
+        Returns:
+            The served plan plus which worker answered.
+        """
+        result = self._request(protocol.plan_request(workload, top_k))
+        return RemotePlanResponse.from_dict(result)
+
+    def ping(self) -> Dict[str, object]:
+        """Liveness probe; returns the owning worker's ``{"worker", "pid"}``."""
+        return self._request(protocol.ping_request())
+
+    def worker_stats(self) -> WorkerStats:
+        """Counters of the single worker owning this request's connection.
+
+        Fleet-wide totals live server-side
+        (:meth:`repro.serve.server.PlanServer.aggregate_stats`).
+        """
+        return WorkerStats.from_dict(self._request(protocol.stats_request()))
+
+    @property
+    def transport_retries(self) -> int:
+        """How many transport-failure retries this client has performed."""
+        with self._lock:
+            return self._transport_retries
+
+    def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        self._closed = True
+        self._drain_pool()
+
+    def __enter__(self) -> "PlanClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,617 @@
+"""PlanServer: a shared-nothing multi-process front over the PlannerService.
+
+The ROADMAP's serving target ("heavy traffic from millions of users") needs
+plan selection to scale past one process.  :class:`PlanServer` is the first
+process boundary in the codebase:
+
+* the **parent** binds one listening socket (Unix-domain by default, TCP on
+  request), accepts connections, and deals each accepted descriptor to a
+  worker **round-robin** over a per-worker control pipe (``SCM_RIGHTS`` fd
+  passing via :mod:`multiprocessing.reduction`) — deterministic spread, no
+  thundering herd, and the parent never touches request bytes;
+* each **worker** is a forked process owning a private
+  :class:`~repro.planner.service.PlannerService` (and therefore its own plan
+  cache, search, and simulated runtimes) — shared-nothing: workers never
+  exchange state, so there are no cross-process locks on the hot path;
+* a worker runs a :mod:`selectors` event loop multiplexing its control pipe
+  and every connection it owns, decoding frames with
+  :class:`~repro.serve.protocol.FrameDecoder` and answering ``plan`` /
+  ``ping`` / ``stats`` requests;
+* the parent aggregates per-worker counters on demand
+  (:meth:`PlanServer.aggregate_stats`) by round-tripping a stats request on
+  each control pipe — the only cross-worker communication, and it never
+  blocks serving.
+
+Workers warm-start independently: point ``service_options["store_path"]`` at
+a shared plan store and every worker loads it at boot; the bounded cache
+(``cache_capacity`` / ``cache_max_bytes`` / ``cache_ttl_seconds``) keeps
+long-lived workers from growing without bound.
+
+Worker processes are created with the ``fork`` start method (the listening
+parent's state — ``sys.path``, loaded modules — carries over and fd passing
+stays cheap); this is the platform norm for pre-fork servers and matches the
+Linux/macOS CI targets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import selectors
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import reduction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bench.workloads import Workload
+from repro.planner.service import PlannerService
+from repro.serve import protocol
+from repro.serve.stats import ServerStats, WorkerStats
+from repro.topology.machines import MachineSpec
+
+#: Accepted address forms: ``None`` (auto Unix socket), a Unix socket path,
+#: or a ``(host, port)`` TCP endpoint (``port=0`` auto-assigns).
+Address = Union[None, str, Tuple[str, int]]
+
+#: Ceiling on buffered-but-unread response bytes per connection.  A client
+#: that pipelines requests while never reading replies is hoarding, not
+#: slow; past this the worker closes the connection instead of growing
+#: without bound.
+MAX_CONNECTION_BACKLOG_BYTES = 8 << 20
+
+
+def _remove_stale_unix_socket(path: str) -> None:
+    """Unlink a leftover socket file from a crashed server, if truly dead.
+
+    A SIGKILLed server never reaches the ``os.unlink`` in ``stop()``, so its
+    socket file would make every restart fail with EADDRINUSE.  Probe it: a
+    refused connect means nothing is listening, so the file is stale and
+    safe to remove; an accepted connect means a live server owns the address
+    (leave it — bind() will report the conflict).  Non-socket files are
+    never touched.
+    """
+    import stat
+
+    try:
+        if not stat.S_ISSOCK(os.stat(path).st_mode):
+            return
+    except OSError:
+        return  # nothing there: the normal fresh-start path
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.5)
+    try:
+        probe.connect(path)
+        return  # a live server answered; let bind() surface the conflict
+    except OSError:
+        pass
+    finally:
+        probe.close()
+    try:
+        os.unlink(path)
+    except OSError:  # pragma: no cover - raced with another starter
+        pass
+
+
+def _fork_context():
+    """The multiprocessing context workers are spawned from (pre-fork model)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError as error:  # pragma: no cover - non-POSIX platforms
+        raise RuntimeError(
+            "PlanServer requires the 'fork' start method (POSIX pre-fork model)"
+        ) from error
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    index: int
+    process: "multiprocessing.process.BaseProcess"
+    pipe: "multiprocessing.connection.Connection"
+    #: Serializes parent *writes* to ``pipe`` (connection hand-offs from the
+    #: dispatcher thread, stats requests from caller threads).  Held only
+    #: for the duration of a send, never across a reply wait, so monitoring
+    #: can never stall dispatch.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Serializes stats *round-trips* (the only parent-side reads) so two
+    #: concurrent aggregations cannot steal each other's replies.
+    stats_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Set when the control pipe failed; the worker is no longer routable.
+    dead: bool = False
+
+    def mark_dead(self) -> None:
+        """Retire the worker: closing the pipe unblocks a worker waiting on
+        it (EOF) so a half-delivered hand-off cannot wedge it forever."""
+        self.dead = True
+        try:
+            self.pipe.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+
+class PlanServer:
+    """Serve partitioning plans from ``num_workers`` forked planner processes.
+
+    Args:
+        machine: the machine the workers plan for.
+        num_workers: size of the pre-forked worker fleet (>= 1).
+        address: where to listen — ``None`` picks a fresh Unix socket under a
+            private temp directory; a string is used as a Unix socket path;
+            an ``(host, port)`` tuple listens on TCP (``port=0`` auto-picks,
+            the resolved port appears in :attr:`address` after start).
+        backlog: listen backlog for the accept socket.
+        service_options: keyword arguments forwarded verbatim to each
+            worker's :class:`~repro.planner.service.PlannerService`
+            (replication factors, cache bounds, store path, ...).
+
+    Use as a context manager or call :meth:`start` / :meth:`stop` explicitly.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        *,
+        num_workers: int = 2,
+        address: Address = None,
+        backlog: int = 128,
+        service_options: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.machine = machine
+        self.num_workers = num_workers
+        self.backlog = backlog
+        self.service_options = dict(service_options or {})
+        self._requested_address = address
+        #: The resolved listening endpoint (set by :meth:`start`): the Unix
+        #: socket path, or the bound ``(host, port)`` tuple.
+        self.address: Union[str, Tuple[str, int], None] = None
+        self._listener: Optional[socket.socket] = None
+        self._workers: List[_WorkerHandle] = []
+        self._dispatcher: Optional[threading.Thread] = None
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        self._unix_path: Optional[str] = None
+        self._stats_seq = 0
+        self._stats_seq_lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> Union[str, Tuple[str, int]]:
+        """Bind, fork the workers, and begin dispatching connections.
+
+        Returns:
+            The resolved address clients should connect to.
+        """
+        if self._started:
+            raise RuntimeError("PlanServer already started")
+        self._started = True
+        self._listener = self._bind()
+        ctx = _fork_context()
+        # Create every pipe before forking anyone, and hand each child the
+        # full list of ends it must close: a forked child inherits copies of
+        # all fds open at fork time (every sibling's pipe ends, the parent
+        # ends, the listener), and any surviving copy would defeat EOF
+        # delivery when the parent closes or drops a pipe.
+        pipes = [ctx.Pipe(duplex=True) for _ in range(self.num_workers)]
+        for index in range(self.num_workers):
+            child_pipe = pipes[index][1]
+            unwanted = [conn for pair in pipes for conn in pair
+                        if conn is not child_pipe]
+            process = ctx.Process(
+                target=_worker_main,
+                args=(index, child_pipe, unwanted, self._listener,
+                      self.machine, self.service_options),
+                daemon=True,
+                name=f"plan-worker-{index}",
+            )
+            process.start()
+            self._workers.append(_WorkerHandle(index=index, process=process,
+                                               pipe=pipes[index][0]))
+        for _parent_pipe, child_pipe in pipes:
+            child_pipe.close()
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            name="plan-dispatch", daemon=True)
+        self._dispatcher.start()
+        assert self.address is not None
+        return self.address
+
+    def _bind(self) -> socket.socket:
+        address = self._requested_address
+        if address is None or isinstance(address, str):
+            if address is None:
+                self._tempdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+                address = os.path.join(self._tempdir.name, "plan-server.sock")
+            _remove_stale_unix_socket(address)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                listener.bind(address)
+            except OSError:
+                listener.close()
+                raise
+            self._unix_path = address
+            self.address = address
+        else:
+            host, port = address
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                listener.bind((host, port))
+            except OSError:
+                listener.close()
+                raise
+            self.address = listener.getsockname()[:2]
+        listener.listen(self.backlog)
+        return listener
+
+    def _dispatch_loop(self) -> None:
+        """Accept connections and deal each to the next live worker."""
+        assert self._listener is not None
+        turn = 0
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            handed_off = False
+            for offset in range(len(self._workers)):
+                handle = self._workers[(turn + offset) % len(self._workers)]
+                if handle.dead or not handle.process.is_alive():
+                    continue
+                try:
+                    with handle.lock:
+                        handle.pipe.send(("conn",))
+                        reduction.send_handle(handle.pipe, conn.fileno(),
+                                              handle.process.pid)
+                except (OSError, ValueError):
+                    # The hand-off may have failed between the announcement
+                    # and the fd transfer; retire the worker so it cannot sit
+                    # blocked waiting for an fd that will never arrive.
+                    with handle.lock:
+                        handle.mark_dead()
+                    continue
+                turn = (turn + offset + 1) % len(self._workers)
+                handed_off = True
+                break
+            conn.close()  # worker holds its own duplicate now (or no one will)
+            if not handed_off and all(
+                    h.dead or not h.process.is_alive() for h in self._workers):
+                return
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut the fleet down: stop accepting, drain workers, reap processes.
+
+        Args:
+            timeout: per-worker grace period before a hard terminate.
+
+        Safe to call more than once.
+        """
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._stopped = True
+        if self._listener is not None:
+            # shutdown() before close(): a bare close() does not wake a thread
+            # blocked in accept() on Linux, which would stall stop() until the
+            # join timeout.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=timeout)
+        for handle in self._workers:
+            try:
+                with handle.lock:
+                    handle.pipe.send(("shutdown",))
+            except (OSError, ValueError):
+                pass
+        for handle in self._workers:
+            handle.process.join(timeout=timeout)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.pipe.close()
+            except OSError:
+                pass
+        if self._unix_path is not None:
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "PlanServer":
+        """Start on entry (no-op if :meth:`start` was already called)."""
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        """Stop the fleet on exit."""
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def alive_workers(self) -> List[int]:
+        """Indices of workers that are alive and still routable."""
+        return [h.index for h in self._workers
+                if not h.dead and h.process.is_alive()]
+
+    def aggregate_stats(self, timeout: float = 10.0) -> ServerStats:
+        """Collect and sum every live worker's serving/cache counters.
+
+        Each worker answers a stats round-trip on its control pipe between
+        requests; a worker that stays busy past ``timeout`` (or died) is
+        simply absent from the snapshot.
+
+        Args:
+            timeout: per-worker ceiling on waiting for the reply, seconds.
+
+        Returns:
+            The fleet-wide :class:`~repro.serve.stats.ServerStats`.
+        """
+        if not self._started:
+            raise RuntimeError("PlanServer not started")
+        snapshots: List[WorkerStats] = []
+        for handle in self._workers:
+            if handle.dead or not handle.process.is_alive():
+                continue
+            with self._stats_seq_lock:
+                self._stats_seq += 1
+                seq = self._stats_seq
+            try:
+                # stats_lock serializes whole round-trips (reply reads);
+                # handle.lock covers only the send, so the dispatcher's
+                # connection hand-offs are never blocked behind a slow
+                # worker's reply wait.
+                with handle.stats_lock:
+                    with handle.lock:
+                        handle.pipe.send(("stats", seq))
+                    # One deadline for the whole wait: draining a stale reply
+                    # (from a timed-out earlier round-trip) must not restart
+                    # the window, or ``timeout`` stops being a ceiling.
+                    deadline = time.monotonic() + timeout
+                    while True:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not handle.pipe.poll(remaining):
+                            break
+                        message = handle.pipe.recv()
+                        if message[0] == "stats" and message[1] == seq:
+                            snapshots.append(WorkerStats.from_dict(message[2]))
+                            break
+            except (OSError, EOFError, ValueError):
+                continue
+        return ServerStats.from_workers(snapshots)
+
+
+# ---------------------------------------------------------------------- #
+# worker process
+# ---------------------------------------------------------------------- #
+class _Connection:
+    """One client connection a worker owns: socket, frame decoder, write buffer.
+
+    Responses are queued into ``outbuf`` and flushed opportunistically, so a
+    slow-reading client never blocks the worker's event loop (no head-of-line
+    blocking across connections); the selector watches for writability only
+    while there is buffered output.
+    """
+
+    __slots__ = ("sock", "decoder", "outbuf")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.decoder = protocol.FrameDecoder()
+        self.outbuf = bytearray()
+
+    def flush(self) -> bool:
+        """Write as much buffered output as the socket accepts right now.
+
+        Returns False when the connection failed and must be closed.
+        """
+        while self.outbuf:
+            try:
+                sent = self.sock.send(self.outbuf)
+            except (BlockingIOError, InterruptedError):
+                return True  # kernel buffer full: wait for EVENT_WRITE
+            except OSError:
+                return False
+            if sent == 0:  # pragma: no cover - send() returning 0 is rare
+                return False
+            del self.outbuf[:sent]
+        return True
+
+    def events(self) -> int:
+        """The selector interest set for the current buffer state."""
+        interest = selectors.EVENT_READ
+        if self.outbuf:
+            interest |= selectors.EVENT_WRITE
+        return interest
+
+
+def _worker_main(index: int, ctrl, unwanted, listener,
+                 machine: MachineSpec,
+                 service_options: Dict[str, object]) -> None:
+    """Entry point of one forked worker (runs until told to shut down).
+
+    Args:
+        index: the worker's position in the fleet.
+        ctrl: this worker's end of its control pipe.
+        unwanted: inherited pipe ends belonging to the parent or siblings —
+            closed immediately so pipe EOFs actually deliver fleet-wide.
+        listener: the parent's accept socket — closed too; workers never
+            accept.
+        machine: the machine plans are computed for.
+        service_options: forwarded to this worker's PlannerService.
+    """
+    for conn in unwanted:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+    try:
+        listener.close()
+    except OSError:  # pragma: no cover - close is best-effort
+        pass
+    service = PlannerService(machine, **service_options)  # type: ignore[arg-type]
+    selector = selectors.DefaultSelector()
+    selector.register(ctrl, selectors.EVENT_READ, data="ctrl")
+    connections: Dict[int, _Connection] = {}
+    running = True
+
+    def close_connection(fd: int) -> None:
+        conn = connections.pop(fd)
+        try:
+            selector.unregister(conn.sock)
+        except KeyError:  # pragma: no cover - defensive
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def pump(fd: int, conn: _Connection) -> None:
+        """Flush buffered output and keep the interest set in sync."""
+        if not conn.flush():
+            close_connection(fd)
+            return
+        if len(conn.outbuf) > MAX_CONNECTION_BACKLOG_BYTES:
+            close_connection(fd)  # hoarding client: answers piling up unread
+            return
+        selector.modify(conn.sock, conn.events(), data="client")
+
+    try:
+        while running:
+            for key, events in selector.select(timeout=1.0):
+                if key.data == "ctrl":
+                    running = _drain_control(index, ctrl, service, selector,
+                                             connections)
+                    continue
+                sock = key.fileobj
+                assert isinstance(sock, socket.socket)
+                fd = sock.fileno()
+                conn = connections.get(fd)
+                if conn is None:  # pragma: no cover - closed earlier this round
+                    continue
+                if events & selectors.EVENT_WRITE:
+                    pump(fd, conn)
+                    if fd not in connections:
+                        continue
+                if not events & selectors.EVENT_READ:
+                    continue
+                try:
+                    data = sock.recv(1 << 16)
+                except (BlockingIOError, InterruptedError):
+                    continue
+                except OSError:
+                    close_connection(fd)
+                    continue
+                if not data:
+                    close_connection(fd)
+                    continue
+                try:
+                    messages = conn.decoder.feed(data)
+                except protocol.ProtocolError:
+                    close_connection(fd)
+                    continue
+                for message in messages:
+                    response = _dispatch(index, service, message)
+                    try:
+                        conn.outbuf.extend(protocol.encode_frame(response))
+                    except protocol.ProtocolError:  # pragma: no cover - oversized
+                        close_connection(fd)
+                        break
+                else:
+                    pump(fd, conn)
+    finally:
+        for fd in list(connections):
+            close_connection(fd)
+        selector.close()
+        service.close()
+        try:
+            ctrl.close()
+        except OSError:
+            pass
+
+
+def _drain_control(index: int, ctrl, service: PlannerService,
+                   selector: selectors.BaseSelector,
+                   connections: Dict[int, _Connection],
+                   ) -> bool:
+    """Handle every pending parent command; returns False on shutdown."""
+    while True:
+        try:
+            if not ctrl.poll(0):
+                return True
+            message = ctrl.recv()
+        except (OSError, EOFError):
+            return False  # parent went away: exit rather than serve orphaned
+        op = message[0]
+        if op == "conn":
+            # The fd rides the same pipe as ancillary data right behind the
+            # announcement, so receive it before looking at further commands.
+            # If the parent's send_handle failed after the announcement it
+            # closes the pipe, which surfaces here as EOF/OSError — treat the
+            # control channel as gone rather than blocking forever.
+            try:
+                fd = reduction.recv_handle(ctrl)
+            except (OSError, EOFError, RuntimeError):
+                return False
+            sock = socket.socket(fileno=fd)
+            sock.setblocking(False)
+            connections[sock.fileno()] = _Connection(sock)
+            selector.register(sock, selectors.EVENT_READ, data="client")
+        elif op == "stats":
+            try:
+                ctrl.send(("stats", message[1],
+                           _worker_snapshot(index, service).to_dict()))
+            except (OSError, ValueError):
+                return False
+        elif op == "shutdown":
+            return False
+
+
+def _worker_snapshot(index: int, service: PlannerService) -> WorkerStats:
+    """This worker's identity + counters (the one source for both stats paths)."""
+    return WorkerStats(worker=index, pid=os.getpid(),
+                       service=service.stats(), cache=service.cache_stats())
+
+
+def _dispatch(index: int, service: PlannerService,
+              message: Dict[str, object]) -> Dict[str, object]:
+    """Answer one decoded request; failures become error responses.
+
+    Only :class:`Exception` is converted — ``KeyboardInterrupt`` /
+    ``SystemExit`` propagate so an interrupted worker exits instead of
+    answering with the interrupt and serving on.
+    """
+    try:
+        op = message.get("op")
+        if op == "plan":
+            workload = Workload.from_dict(message["workload"])  # type: ignore[arg-type]
+            top_k = message.get("top_k")
+            response = service.plan(workload,
+                                    top_k=None if top_k is None else int(top_k))  # type: ignore[arg-type]
+            return protocol.ok_response(
+                protocol.plan_response_payload(response, index, os.getpid()))
+        if op == "ping":
+            return protocol.ok_response({"worker": index, "pid": os.getpid()})
+        if op == "stats":
+            return protocol.ok_response(_worker_snapshot(index, service).to_dict())
+        raise ValueError(f"unknown op: {op!r}")
+    except Exception as error:  # noqa: BLE001 - every failure must answer
+        return protocol.error_response(error)

@@ -1,0 +1,127 @@
+"""Cross-worker serving statistics: per-worker snapshots and their aggregate.
+
+Each :class:`~repro.serve.server.PlanServer` worker is shared-nothing — it
+owns a private :class:`~repro.planner.service.PlannerService` whose counters
+(:class:`~repro.planner.service.ServiceStats`) and plan-cache counters
+(:class:`~repro.planner.cache.CacheStats`) describe only that worker's
+traffic.  This module carries those snapshots across the process boundary
+(plain-dict serialization, reusing the dataclass field layout) and sums them
+into the fleet-wide view the ROADMAP's "millions of users" target needs:
+total requests, total hits, how the warm traffic spread across workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.planner.cache import CacheStats
+from repro.planner.service import ServiceStats
+
+
+@dataclass
+class WorkerStats:
+    """One worker's identity plus its serving and cache counter snapshots."""
+
+    worker: int
+    pid: int
+    service: ServiceStats
+    cache: CacheStats
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (inverse of :meth:`from_dict`)."""
+        return {
+            "worker": self.worker,
+            "pid": self.pid,
+            "service": dataclasses.asdict(self.service),
+            "cache": dataclasses.asdict(self.cache),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "WorkerStats":
+        """Rebuild a snapshot from :meth:`to_dict` output.
+
+        Unknown counter fields (a newer worker reporting to an older parent)
+        are dropped rather than failing the aggregation.
+        """
+        service_fields = {f.name for f in dataclasses.fields(ServiceStats)}
+        cache_fields = {f.name for f in dataclasses.fields(CacheStats)}
+        service_raw: Dict[str, object] = dict(payload.get("service") or {})  # type: ignore[arg-type]
+        cache_raw: Dict[str, object] = dict(payload.get("cache") or {})  # type: ignore[arg-type]
+        return cls(
+            worker=int(payload.get("worker", -1)),  # type: ignore[arg-type]
+            pid=int(payload.get("pid", 0)),  # type: ignore[arg-type]
+            service=ServiceStats(**{k: v for k, v in service_raw.items()
+                                    if k in service_fields}),
+            cache=CacheStats(**{k: v for k, v in cache_raw.items() if k in cache_fields}),
+        )
+
+
+def aggregate_service_stats(parts: Sequence[ServiceStats]) -> ServiceStats:
+    """Sum serving counters across workers (every field is additive).
+
+    Args:
+        parts: per-worker :class:`ServiceStats` snapshots.
+
+    Returns:
+        One :class:`ServiceStats` whose counters are the fleet totals (the
+        derived ``hit_rate`` property then reads as the fleet-wide rate).
+    """
+    total = ServiceStats()
+    for part in parts:
+        for field in dataclasses.fields(ServiceStats):
+            setattr(total, field.name,
+                    getattr(total, field.name) + getattr(part, field.name))
+    return total
+
+
+@dataclass
+class ServerStats:
+    """The fleet view: per-worker snapshots plus their summed totals."""
+
+    workers: List[WorkerStats]
+    totals: ServiceStats
+
+    @classmethod
+    def from_workers(cls, workers: Sequence[WorkerStats]) -> "ServerStats":
+        """Aggregate a set of per-worker snapshots."""
+        ordered = sorted(workers, key=lambda w: w.worker)
+        return cls(workers=list(ordered),
+                   totals=aggregate_service_stats([w.service for w in ordered]))
+
+    @property
+    def num_workers(self) -> int:
+        """How many workers reported."""
+        return len(self.workers)
+
+    @property
+    def workers_with_hits(self) -> int:
+        """How many workers served at least one cache hit (traffic spread)."""
+        return sum(1 for w in self.workers if w.service.cache_hits > 0)
+
+    @property
+    def workers_with_requests(self) -> int:
+        """How many workers served at least one request."""
+        return sum(1 for w in self.workers if w.service.requests > 0)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (one row per worker + totals)."""
+        lines = []
+        for snap in self.workers:
+            svc = snap.service
+            lines.append(
+                f"worker {snap.worker} (pid {snap.pid}): {svc.requests} requests, "
+                f"{svc.plans_computed} planned, {svc.cache_hits} hits "
+                f"({svc.hit_rate:.0%}), {svc.coalesced_requests} coalesced, "
+                f"cache {snap.cache.size}/{snap.cache.capacity} entries"
+            )
+        totals = self.totals
+        lines.append(
+            f"fleet ({self.num_workers} workers): {totals.requests} requests, "
+            f"{totals.plans_computed} planned, {totals.cache_hits} hits "
+            f"({totals.hit_rate:.0%}), {totals.candidates_pruned} of "
+            f"{totals.candidates_pruned + totals.candidates_simulated} "
+            f"candidate simulations pruned"
+        )
+        return "\n".join(lines)

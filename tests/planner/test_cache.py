@@ -240,3 +240,180 @@ class TestServiceFingerprint:
         stale = PlannerService(machine, replication_factors=[1])
         stale.cost_model_fingerprint = "different-build"
         assert stale.cache.load(path, fingerprint="different-build") == 0
+
+
+class FakeClock:
+    """Deterministic injectable clock for TTL tests."""
+
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBoundedStore:
+    def test_max_bytes_evicts_lru(self):
+        from repro.planner.cache import entry_size_bytes
+
+        entry = make_entry()
+        size = entry_size_bytes(entry)
+        cache = PlanCache(capacity=100, max_bytes=3 * size)
+        for i in range(4):
+            cache.put(f"k{i}", make_entry())
+        assert "k0" not in cache  # LRU went first; byte budget holds 3
+        assert [f"k{i}" in cache for i in range(1, 4)] == [True, True, True]
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.total_bytes <= stats.max_bytes == 3 * size
+
+    def test_single_oversized_entry_is_admitted_alone(self):
+        cache = PlanCache(capacity=100, max_bytes=1)
+        cache.put("big", make_entry())
+        assert "big" in cache and len(cache) == 1
+
+    def test_total_bytes_tracks_replacement(self):
+        cache = PlanCache(capacity=4)
+        cache.put("k", make_entry("column"))
+        first = cache.stats().total_bytes
+        cache.put("k", make_entry("outer"))
+        assert len(cache) == 1
+        assert cache.stats().total_bytes == pytest.approx(first, rel=0.2)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_bytes=0)
+        with pytest.raises(ValueError):
+            PlanCache(ttl_seconds=0)
+
+    def test_ttl_expires_on_get(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl_seconds=60.0, clock=clock)
+        cache.put("k", make_entry())
+        clock.advance(30)
+        assert cache.get("k") is not None
+        clock.advance(31)  # 61s old now
+        assert cache.get("k") is None
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.misses == 1 and stats.size == 0
+
+    def test_contains_treats_expired_as_absent(self):
+        clock = FakeClock()
+        cache = PlanCache(ttl_seconds=10.0, clock=clock)
+        cache.put("k", make_entry())
+        assert "k" in cache
+        clock.advance(11)
+        assert "k" not in cache
+
+    def test_prune_expired_drops_eagerly(self):
+        clock = FakeClock()
+        cache = PlanCache(ttl_seconds=10.0, clock=clock)
+        cache.put("old", make_entry())
+        clock.advance(6)
+        cache.put("young", make_entry())
+        clock.advance(5)  # old is 11s, young is 5s
+        assert cache.prune_expired() == 1
+        assert "old" not in cache and "young" in cache
+        assert cache.stats().expirations == 1
+
+
+class TestStoreV3:
+    def test_lru_order_survives_save_load(self, tmp_path):
+        cache = PlanCache(capacity=8)
+        for key in ("a", "b", "c"):
+            cache.put(key, make_entry())
+        cache.get("a")  # recency now: b, c, a
+        path = str(tmp_path / "plans.json")
+        cache.save(path)
+
+        fresh = PlanCache(capacity=8)
+        assert fresh.load(path) == 3
+        assert fresh.keys() == ["b", "c", "a"]
+        fresh.put("d", make_entry())
+        fresh.capacity = 3
+        fresh.put("e", make_entry())  # evicts down to 3: LRU b, then c go
+        assert "b" not in fresh
+        assert fresh.keys() == ["a", "d", "e"]
+
+    def test_created_at_survives_roundtrip_and_expires(self, tmp_path):
+        clock = FakeClock(now=5000.0)
+        cache = PlanCache(ttl_seconds=100.0, clock=clock)
+        cache.put("old", make_entry())
+        clock.advance(80)
+        cache.put("young", make_entry())
+        path = str(tmp_path / "plans.json")
+        cache.save(path)
+
+        clock.advance(30)  # old is 110s (expired), young is 30s
+        warm = PlanCache(ttl_seconds=100.0, clock=clock)
+        assert warm.load(path) == 1
+        assert "young" in warm and "old" not in warm
+        assert warm.stats().expirations == 1
+
+    def test_store_is_version_3_with_timestamps(self, tmp_path):
+        from repro.planner.cache import STORE_VERSION
+
+        cache = PlanCache()
+        cache.put("k", make_entry())
+        path = str(tmp_path / "plans.json")
+        cache.save(path)
+        payload = json.loads(open(path).read())
+        assert payload["version"] == STORE_VERSION == 3
+        assert all(isinstance(item["created_at"], float) for item in payload["entries"])
+
+    def test_v2_store_migrates_with_load_time_stamp(self, tmp_path):
+        clock = FakeClock(now=7777.0)
+        cache = PlanCache()
+        cache.put("k", make_entry())
+        path = str(tmp_path / "plans.json")
+        cache.save(path)
+        payload = json.loads(open(path).read())
+        payload["version"] = 2
+        for item in payload["entries"]:
+            del item["created_at"]
+            assert "plan" in item  # v2 layout otherwise identical
+        open(path, "w").write(json.dumps(payload))
+
+        warm = PlanCache(ttl_seconds=100.0, clock=clock)
+        assert warm.load(path) == 1  # migrated, stamped at load time
+        clock.advance(50)
+        assert "k" in warm
+        clock.advance(51)
+        assert "k" not in warm
+
+    def test_v1_store_still_rejected(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(json.dumps({"version": 1, "entries": []}))
+        assert PlanCache().load(str(path)) == 0
+
+    def test_load_respects_byte_budget(self, tmp_path):
+        from repro.planner.cache import entry_size_bytes
+
+        size = entry_size_bytes(make_entry())
+        cache = PlanCache(capacity=100)
+        for i in range(5):
+            cache.put(f"k{i}", make_entry())
+        path = str(tmp_path / "plans.json")
+        cache.save(path)
+
+        small = PlanCache(capacity=100, max_bytes=2 * size)
+        assert small.load(path) == 5  # all parsed; bounds applied as they merge
+        assert len(small) == 2
+        assert small.keys() == ["k3", "k4"]  # the two most recent survive
+
+
+class TestServiceBounds:
+    def test_service_passes_bounds_through(self):
+        from repro.planner.service import PlannerService
+        from repro.topology.machines import uniform_system
+
+        service = PlannerService(uniform_system(4), cache_capacity=7,
+                                 cache_max_bytes=1 << 20, cache_ttl_seconds=3600.0)
+        stats = service.cache_stats()
+        assert stats.capacity == 7
+        assert stats.max_bytes == 1 << 20
+        assert stats.ttl_seconds == 3600.0

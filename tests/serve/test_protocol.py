@@ -1,0 +1,159 @@
+"""Unit tests for the length-prefixed JSON wire protocol."""
+
+import socket
+
+import pytest
+
+from repro.bench.workloads import Workload, block_sparse_workload
+from repro.serve import protocol
+from repro.serve.protocol import (
+    HEADER,
+    MAX_MESSAGE_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    RemotePlanResponse,
+    encode_frame,
+    error_response,
+    ok_response,
+    plan_request,
+    recv_message,
+    send_message,
+)
+
+
+class TestFraming:
+    def test_encode_frame_layout(self):
+        frame = encode_frame({"op": "ping"})
+        (length,) = HEADER.unpack(frame[:HEADER.size])
+        assert length == len(frame) - HEADER.size
+
+    def test_socketpair_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            send_message(left, {"op": "ping", "n": 42})
+            assert recv_message(right) == {"op": "ping", "n": 42}
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_returns_none_on_clean_eof(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_message(right) is None
+        finally:
+            right.close()
+
+    def test_recv_raises_on_mid_frame_disconnect(self):
+        left, right = socket.socketpair()
+        try:
+            frame = encode_frame({"op": "ping"})
+            left.sendall(frame[:-2])  # truncate the body
+            left.close()
+            with pytest.raises(ProtocolError):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_recv_rejects_oversized_length(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(HEADER.pack(MAX_MESSAGE_BYTES + 1))
+            with pytest.raises(ProtocolError):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_rejects_non_object_body(self):
+        left, right = socket.socketpair()
+        try:
+            body = b"[1,2,3]"
+            left.sendall(HEADER.pack(len(body)) + body)
+            with pytest.raises(ProtocolError):
+                recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time_reassembly(self):
+        frames = encode_frame({"a": 1}) + encode_frame({"b": [2, 3]})
+        decoder = FrameDecoder()
+        seen = []
+        for i in range(len(frames)):
+            seen.extend(decoder.feed(frames[i:i + 1]))
+        assert seen == [{"a": 1}, {"b": [2, 3]}]
+        assert decoder.pending_bytes == 0
+
+    def test_multiple_messages_in_one_feed(self):
+        frames = encode_frame({"a": 1}) + encode_frame({"b": 2})
+        assert FrameDecoder().feed(frames) == [{"a": 1}, {"b": 2}]
+
+    def test_partial_frame_stays_buffered(self):
+        frame = encode_frame({"op": "stats"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:3]) == []
+        assert decoder.pending_bytes == 3
+        assert decoder.feed(frame[3:]) == [{"op": "stats"}]
+
+    def test_oversized_header_raises(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(HEADER.pack(MAX_MESSAGE_BYTES + 1))
+
+    def test_bad_json_raises(self):
+        body = b"{nope"
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(HEADER.pack(len(body)) + body)
+
+
+class TestRequests:
+    def test_plan_request_roundtrips_dense_workload(self):
+        workload = Workload("w", 96, 80, 64)
+        request = plan_request(workload, top_k=3)
+        assert request["op"] == "plan" and request["top_k"] == 3
+        assert Workload.from_dict(request["workload"]) == workload
+
+    def test_plan_request_carries_structure(self):
+        workload = block_sparse_workload(256, 256, 256, density=0.25, seed=7)
+        request = plan_request(workload)
+        restored = Workload.from_dict(request["workload"])
+        assert restored.structure == workload.structure
+
+    def test_ok_and_error_responses(self):
+        assert ok_response({"x": 1}) == {"ok": True, "result": {"x": 1}}
+        wrapped = error_response(ValueError("bad shape"))
+        assert wrapped["ok"] is False
+        assert wrapped["error"] == {"type": "ValueError", "message": "bad shape"}
+
+
+class TestPlanResponsePayload:
+    def _served_response(self):
+        from repro.planner import PlannerService
+        from repro.topology.machines import uniform_system
+
+        with PlannerService(uniform_system(2), replication_factors=[1]) as service:
+            return service.plan(Workload("w", 96, 80, 64))
+
+    def test_roundtrip_preserves_recommendations_and_flags(self):
+        response = self._served_response()
+        payload = protocol.plan_response_payload(response, worker=3, pid=1234)
+        remote = RemotePlanResponse.from_dict(payload)
+        assert remote.worker == 3 and remote.pid == 1234
+        assert remote.cache_hit == response.cache_hit
+        assert remote.signature_key == response.signature.key()
+        assert remote.num_simulated == response.search_stats.num_simulated
+        best, reference = remote.recommendation, response.recommendation
+        assert best.scheme.name == reference.scheme.name
+        assert best.replication == reference.replication
+        assert best.stationary == reference.stationary
+        assert best.simulated_time == reference.simulated_time
+
+    def test_wire_payload_is_json_safe(self):
+        import json
+
+        response = self._served_response()
+        payload = protocol.plan_response_payload(response, worker=0, pid=1)
+        assert RemotePlanResponse.from_dict(json.loads(json.dumps(payload)))
