@@ -1,17 +1,27 @@
 """Planner serving throughput: cold (search) vs. warm (cache) planning.
 
 The ROADMAP's serving goal means the planner must answer near-identical
-requests at memory speed.  This benchmark measures three things:
+requests at memory speed.  This benchmark measures four things:
 
 * **cold** planning latency — a cache-miss request that runs the pruned
   design-space search end to end;
+* **cold-latency breakdown** — where the cold milliseconds go, split into
+  op generation / eager bounding / lazy refinement / simulation (the phases
+  ``SearchStats`` now times separately);
 * **warm** planning throughput — repeated requests answered from the LRU
   plan cache (the acceptance bar is warm >= 10x faster than cold);
 * **pruning effectiveness** — how many candidate simulations the cost-bound
   search skipped relative to the exhaustive sweep.
 
 Runs standalone (``python benchmarks/bench_planner_throughput.py [--fast]``)
-and under pytest; results are persisted to ``benchmarks/results/``.
+and under pytest; results are persisted to ``benchmarks/results/``.  The
+pre-optimization record lives in ``planner_throughput_before.json`` so the
+speedup from the vectorized evaluation core stays measurable in-tree.
+
+``--check`` replays the full search matrix and pins the recommended plans —
+winner identity, ranking order, and simulated times — against the committed
+snapshot at **0.0 drift**.  Timing fields are machine-dependent and stay
+informational; plan identity is not, so any drift fails CI.
 """
 
 import argparse
@@ -65,6 +75,38 @@ def measure_service(machine, workload, *, replication_factors=None, warm_request
         }
 
 
+def measure_breakdown(machine, workload, *, replication_factors=None, top_k=3):
+    """Time one cold search and split it into the planner's four phases.
+
+    Also records the ranked winners — the part of the output ``--check``
+    pins bit-exactly against the committed snapshot.
+    """
+    started = time.perf_counter()
+    recommendations, stats = search_partitionings(
+        machine, workload, top_k=top_k, replication_factors=replication_factors)
+    cold_seconds = time.perf_counter() - started
+    return {
+        "workload": workload.name,
+        "machine": machine.name,
+        "num_devices": machine.num_devices,
+        "cold_ms": cold_seconds * 1e3,
+        "opgen_ms": stats.opgen_seconds * 1e3,
+        "bound_ms": stats.bound_seconds * 1e3,
+        "refine_ms": stats.refine_seconds * 1e3,
+        "simulate_ms": stats.simulate_seconds * 1e3,
+        "winners": [
+            {
+                "scheme": rec.scheme.name,
+                "replication": list(rec.replication),
+                "stationary": rec.stationary,
+                "simulated_time": rec.simulated_time,
+                "percent_of_peak": rec.percent_of_peak,
+            }
+            for rec in recommendations
+        ],
+    }
+
+
 def measure_pruning(machine, workload, *, replication_factors=None):
     """Compare pruned vs. exhaustive search on one problem."""
     _, exhaustive = search_partitionings(machine, workload, prune=False,
@@ -83,33 +125,52 @@ def measure_pruning(machine, workload, *, replication_factors=None):
     }
 
 
-def run(fast: bool = False):
-    """Run the full measurement matrix; returns (rows, pruning_rows)."""
+def _scenarios(fast: bool):
     if fast:
-        scenarios = [(uniform_system(4), attention_workload(256), [1, 2])]
-    else:
-        scenarios = [
-            (uniform_system(8), attention_workload(1024), None),
-            (pvc_system(12), mlp1_workload(4096), [1, 2]),
-        ]
+        return [(uniform_system(4), attention_workload(256), [1, 2])]
+    return [
+        (uniform_system(8), attention_workload(1024), None),
+        (pvc_system(12), mlp1_workload(4096), [1, 2]),
+    ]
+
+
+def run(fast: bool = False):
+    """Run the full measurement matrix; returns (rows, breakdown, pruning)."""
+    scenarios = _scenarios(fast)
     rows = [
         measure_service(machine, workload, replication_factors=factors)
+        for machine, workload, factors in scenarios
+    ]
+    breakdown_rows = [
+        measure_breakdown(machine, workload, replication_factors=factors)
         for machine, workload, factors in scenarios
     ]
     pruning_rows = [
         measure_pruning(machine, workload, replication_factors=factors)
         for machine, workload, factors in scenarios
     ]
-    return rows, pruning_rows
+    return rows, breakdown_rows, pruning_rows
 
 
-def render(rows, pruning_rows) -> str:
+def render(rows, breakdown_rows, pruning_rows) -> str:
     lines = ["planner serving throughput (cold search vs. warm cache)", ""]
     for row in rows:
         lines.append(
             f"{row['workload']:<24} on {row['machine']}x{row['num_devices']}: "
             f"cold {row['cold_ms']:.2f} ms, warm {row['warm_ms']:.4f} ms "
             f"({row['speedup']:.0f}x, {row['warm_requests_per_s']:.0f} req/s)"
+        )
+    lines.append("")
+    lines.append("cold-latency breakdown (opgen / bound / refine / simulate)")
+    for row in breakdown_rows:
+        winner = row["winners"][0] if row["winners"] else None
+        best = (f" -> {winner['scheme']} {winner['stationary']}"
+                if winner else "")
+        lines.append(
+            f"{row['workload']:<24} cold {row['cold_ms']:.2f} ms = "
+            f"opgen {row['opgen_ms']:.2f} + bound {row['bound_ms']:.2f} + "
+            f"refine {row['refine_ms']:.2f} + simulate {row['simulate_ms']:.2f}"
+            f"{best}"
         )
     lines.append("")
     lines.append("cost-bound pruning vs. exhaustive sweep")
@@ -127,13 +188,54 @@ def _result_name(fast: bool) -> str:
     return "planner_throughput_fast" if fast else "planner_throughput"
 
 
-def _save_snapshot(rows, pruning_rows, fast: bool = False) -> str:
+def _save_snapshot(rows, breakdown_rows, pruning_rows, fast: bool = False) -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{_result_name(fast)}.json")
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump({"throughput": rows, "pruning": pruning_rows}, handle, indent=2)
+        json.dump({"throughput": rows, "breakdown": breakdown_rows,
+                   "pruning": pruning_rows}, handle, indent=2)
         handle.write("\n")
     return path
+
+
+def check(fast: bool = False, snapshot_path: str | None = None) -> None:
+    """Pin winners + ranking against the committed snapshot at 0.0 drift.
+
+    Re-runs the search matrix and requires each scenario's ranked plan list
+    to match the snapshot exactly: scheme, replication, stationary layout,
+    and ``simulated_time`` / ``percent_of_peak`` to the last bit.  Timing
+    fields (``*_ms``) are machine-dependent and deliberately not compared.
+    """
+    path = snapshot_path or os.path.join(RESULTS_DIR, f"{_result_name(fast)}.json")
+    with open(path, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    expected = {row["workload"]: row["winners"] for row in snapshot["breakdown"]}
+
+    failures = []
+    for machine, workload, factors in _scenarios(fast):
+        row = measure_breakdown(machine, workload, replication_factors=factors)
+        want = expected.get(workload.name)
+        if want is None:
+            failures.append(f"{workload.name}: missing from snapshot {path}")
+            continue
+        got = row["winners"]
+        if len(got) != len(want):
+            failures.append(
+                f"{workload.name}: {len(got)} winners, snapshot has {len(want)}")
+            continue
+        for position, (g, w) in enumerate(zip(got, want)):
+            for field in ("scheme", "replication", "stationary",
+                          "simulated_time", "percent_of_peak"):
+                if g[field] != w[field]:
+                    failures.append(
+                        f"{workload.name} rank {position}: {field} "
+                        f"{g[field]!r} != snapshot {w[field]!r}")
+        print(f"{workload.name:<24} {len(got)} ranked plans match "
+              f"snapshot (0.0 drift)")
+    if failures:
+        raise SystemExit("planner recommendation drift vs "
+                         f"{path}:\n  " + "\n  ".join(failures))
+    print(f"OK: winners and ranking identical to {path}")
 
 
 # ---------------------------------------------------------------------- #
@@ -152,22 +254,66 @@ def test_pruned_search_simulates_fewer_candidates():
     assert row["pruned_simulated"] < row["exhaustive_simulated"], row
 
 
+def test_cold_breakdown_covers_the_cold_time():
+    """The four phase timers must account for (nearly) all of the search."""
+    row = measure_breakdown(uniform_system(4), attention_workload(256),
+                            replication_factors=[1, 2])
+    phases = (row["opgen_ms"] + row["bound_ms"] + row["refine_ms"]
+              + row["simulate_ms"])
+    assert phases <= row["cold_ms"]
+    assert phases >= 0.5 * row["cold_ms"], row
+    assert row["winners"], row
+
+
+def test_winners_pinned_by_committed_snapshot():
+    """The committed full-matrix snapshot must replay at 0.0 drift."""
+    check(fast=False)
+
+
 def test_full_report(results_dir):
-    rows, pruning_rows = run(fast=True)
-    write_result(_result_name(fast=True), render(rows, pruning_rows))
-    _save_snapshot(rows, pruning_rows, fast=True)
+    rows, breakdown_rows, pruning_rows = run(fast=True)
+    write_result(_result_name(fast=True),
+                 render(rows, breakdown_rows, pruning_rows))
+    _save_snapshot(rows, breakdown_rows, pruning_rows, fast=True)
+
+
+def _report_speedup_vs_before(rows) -> None:
+    """Informational: geometric-mean cold speedup over the committed
+    pre-optimization record, when that record is present."""
+    before_path = os.path.join(RESULTS_DIR, "planner_throughput_before.json")
+    if not os.path.exists(before_path):
+        return
+    with open(before_path, encoding="utf-8") as handle:
+        before = {row["workload"]: row["cold_ms"]
+                  for row in json.load(handle)["throughput"]}
+    ratios = [before[row["workload"]] / row["cold_ms"]
+              for row in rows if row["workload"] in before and row["cold_ms"] > 0]
+    if not ratios:
+        return
+    geomean = 1.0
+    for ratio in ratios:
+        geomean *= ratio
+    geomean **= 1.0 / len(ratios)
+    print(f"\ncold-plan speedup vs pre-optimization record: "
+          f"{geomean:.2f}x geometric mean over {len(ratios)} scenario(s)")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fast", action="store_true",
                         help="small scenario only (CI smoke mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="pin winners/ranking against the committed "
+                             "snapshot at 0.0 drift (timings informational)")
     args = parser.parse_args()
-    rows, pruning_rows = run(fast=args.fast)
-    text = render(rows, pruning_rows)
+    if args.check:
+        check(fast=args.fast)
+        return
+    rows, breakdown_rows, pruning_rows = run(fast=args.fast)
+    text = render(rows, breakdown_rows, pruning_rows)
     print(text)
     write_result(_result_name(args.fast), text)
-    _save_snapshot(rows, pruning_rows, fast=args.fast)
+    _save_snapshot(rows, breakdown_rows, pruning_rows, fast=args.fast)
     slowest = min(rows, key=lambda row: row["speedup"])
     if slowest["speedup"] < 10.0:
         raise SystemExit(
@@ -175,6 +321,8 @@ def main() -> None:
         )
     print(f"\nOK: warm cache is >= 10x faster than cold planning "
           f"(worst case {slowest['speedup']:.0f}x)")
+    if not args.fast:
+        _report_speedup_vs_before(rows)
 
 
 if __name__ == "__main__":

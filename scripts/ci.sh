@@ -28,6 +28,9 @@ python examples/planner_server.py --workers 2 --family attention \
 echo "== benchmark smoke: planner throughput (fast mode) =="
 python benchmarks/bench_planner_throughput.py --fast
 
+echo "== benchmark smoke: planner winners/ranking check (vs snapshot) =="
+python benchmarks/bench_planner_throughput.py --check
+
 echo "== benchmark smoke: serving throughput check (fleet vs snapshot) =="
 python benchmarks/bench_serving_throughput.py --check
 

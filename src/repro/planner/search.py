@@ -39,6 +39,7 @@ from repro.core.stationary import parse_stationary
 from repro.core.structure import prune_structured_ops, resolve_structure
 from repro.dist.matrix import DistributedMatrix
 from repro.runtime.runtime import Runtime
+from repro.sim.batch import BatchEvaluator
 from repro.topology.machines import MachineSpec
 
 
@@ -75,7 +76,12 @@ class SearchStats:
     num_refined: int = 0
     pruning_enabled: bool = True
     bound_name: str = BOUND_CRITICAL_PATH
+    #: Seconds compiling candidate op streams (batch evaluator only).
+    opgen_seconds: float = 0.0
+    #: Seconds pricing the eager occupancy bound for the frontier.
     bound_seconds: float = 0.0
+    #: Seconds refining heap-top candidates with the critical-path bound.
+    refine_seconds: float = 0.0
     simulate_seconds: float = 0.0
 
     def merge(self, other: "SearchStats") -> None:
@@ -85,7 +91,9 @@ class SearchStats:
         self.num_simulated += other.num_simulated
         self.num_pruned += other.num_pruned
         self.num_refined += other.num_refined
+        self.opgen_seconds += other.opgen_seconds
         self.bound_seconds += other.bound_seconds
+        self.refine_seconds += other.refine_seconds
         self.simulate_seconds += other.simulate_seconds
 
 
@@ -232,6 +240,7 @@ def search_partitionings(
     config: Optional[ExecutionConfig] = None,
     prune: bool = True,
     bound: str = BOUND_CRITICAL_PATH,
+    use_batch: bool = True,
 ) -> Tuple[List[PartitioningRecommendation], SearchStats]:
     """Search the design space; returns (ranked recommendations, search stats).
 
@@ -253,6 +262,17 @@ def search_partitionings(
     order therefore converges to the tight-bound order (strong incumbents
     found early) while candidates prunable by the cheap bound never pay for
     the expensive one.
+
+    ``use_batch`` (the default) routes all candidate evaluation through one
+    :class:`repro.sim.batch.BatchEvaluator`: each candidate's op stream is
+    compiled once and shared by the bound and the simulator, the eager
+    occupancy pass prices the whole frontier as a single vectorized
+    segment-sum, and critical-path refinements reuse cached relaxed-replay
+    traces.  Every number the evaluator produces is bit-equal to the scalar
+    path, so the recommendations (ties included) are identical either way —
+    ``use_batch=False`` keeps the scalar path for verification.  The batch
+    evaluator requires direct-mode ``simulate_only`` configs and is bypassed
+    automatically otherwise.
     """
     if memory_budget_bytes is None:
         memory_budget_bytes = machine.memory_capacity
@@ -276,6 +296,12 @@ def search_partitionings(
             f"({memory_budget_bytes / 1e9:.2f} GB)"
         )
 
+    # The batch evaluator shares symbolic (data-free) matrices across
+    # candidates, so it is only sound when nothing materializes data.
+    evaluator: Optional[BatchEvaluator] = None
+    if use_batch and config.mode is ExecutionMode.DIRECT and config.simulate_only:
+        evaluator = BatchEvaluator(machine, workload, config)
+
     by_index = {candidate.index: candidate for candidate in candidates}
     if prune:
         started = time.perf_counter()
@@ -283,14 +309,24 @@ def search_partitionings(
         # refined to the tight (expensive) one.  Heap order is (bound, index),
         # so ties fall back to enumeration order, deterministically.
         needs_refinement = bound == BOUND_CRITICAL_PATH
-        heap = [
-            (candidate_lower_bound(machine, workload, candidate,
-                                   config, BOUND_OCCUPANCY),
-             candidate.index, not needs_refinement)
-            for candidate in candidates
-        ]
+        if evaluator is not None:
+            eager = evaluator.frontier_occupancy_bounds(candidates)
+            heap = [
+                (eager[i], candidate.index, not needs_refinement)
+                for i, candidate in enumerate(candidates)
+            ]
+        else:
+            heap = [
+                (candidate_lower_bound(machine, workload, candidate,
+                                       config, BOUND_OCCUPANCY),
+                 candidate.index, not needs_refinement)
+                for candidate in candidates
+            ]
         heapq.heapify(heap)
-        stats.bound_seconds = time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        opgen_eager = evaluator.opgen_seconds if evaluator is not None else 0.0
+        stats.opgen_seconds = opgen_eager
+        stats.bound_seconds = elapsed - opgen_eager
     else:
         heap = [(0.0, candidate.index, True) for candidate in candidates]
 
@@ -298,6 +334,7 @@ def search_partitionings(
     best_times: List[float] = []  # k smallest simulated times seen so far
     threshold = float("inf")
     refine_seconds = 0.0
+    opgen_loop_start = evaluator.opgen_seconds if evaluator is not None else 0.0
     started = time.perf_counter()
     while heap:
         value, index, refined = heapq.heappop(heap)
@@ -311,14 +348,21 @@ def search_partitionings(
         candidate = by_index[index]
         if prune and not refined:
             refine_started = time.perf_counter()
-            tight = candidate_lower_bound(machine, workload, candidate,
-                                          config, BOUND_CRITICAL_PATH)
+            if evaluator is not None:
+                tight = evaluator.critical_bound(candidate)
+            else:
+                tight = candidate_lower_bound(machine, workload, candidate,
+                                              config, BOUND_CRITICAL_PATH)
             stats.num_refined += 1
             refine_seconds += time.perf_counter() - refine_started
             heapq.heappush(heap, (tight, index, True))
             continue
-        point = run_ua_point(machine, workload, candidate.scheme,
-                             candidate.replication, candidate.stationary, config)
+        if evaluator is not None:
+            point = evaluator.simulate(candidate)
+        else:
+            point = run_ua_point(machine, workload, candidate.scheme,
+                                 candidate.replication, candidate.stationary,
+                                 config)
         stats.num_simulated += 1
         results.append(
             (
@@ -337,9 +381,16 @@ def search_partitionings(
         del best_times[effective_k:]
         if len(best_times) == effective_k:
             threshold = best_times[-1]
-    # Refinements run inside the loop but are bound work, not simulation work.
-    stats.bound_seconds += refine_seconds
-    stats.simulate_seconds = time.perf_counter() - started - refine_seconds
+    # Refinements run inside the loop but are bound work, not simulation
+    # work; likewise compile time incurred during the loop (exhaustive runs
+    # compile lazily inside simulate) is op-gen work.
+    loop_elapsed = time.perf_counter() - started
+    loop_opgen = 0.0
+    if evaluator is not None:
+        loop_opgen = evaluator.opgen_seconds - opgen_loop_start
+        stats.opgen_seconds += loop_opgen
+    stats.refine_seconds = refine_seconds
+    stats.simulate_seconds = loop_elapsed - refine_seconds - loop_opgen
 
     # Exhaustive order: percent-of-peak descending, enumeration order on ties.
     results.sort(key=lambda pair: (-pair[1].percent_of_peak, pair[0]))

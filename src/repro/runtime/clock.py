@@ -21,6 +21,7 @@ structure the direct-execution engine and IR schedules exploit.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -40,6 +41,10 @@ class TimelineEntry:
     start: float
     end: float
     label: str = ""
+
+
+def _entry_start(entry: TimelineEntry) -> float:
+    return entry.start
 
 
 class DeviceTimeline:
@@ -81,7 +86,16 @@ class DeviceTimeline:
         start = max(earliest_start, self._available[engine])
         end = start + duration
         self._available[engine] = end
-        self._entries[engine].append(TimelineEntry(start, end, label))
+        # FIFO starts are monotone (start >= available >= every prior end),
+        # so a plain append preserves the sorted-by-start invariant that
+        # find_slot relies on; the guard covers mixed-discipline engines
+        # where an out-of-order slot insert could precede this start.
+        entries = self._entries[engine]
+        entry = TimelineEntry(start, end, label)
+        if entries and start < entries[-1].start:
+            insort(entries, entry, key=_entry_start)
+        else:
+            entries.append(entry)
         return start, end
 
     def find_slot(self, engine: str, duration: float, earliest_start: float = 0.0) -> float:
@@ -89,7 +103,9 @@ class DeviceTimeline:
         if duration < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
         cursor = earliest_start
-        for entry in sorted(self._entries[engine], key=lambda e: e.start):
+        # _entries is kept sorted by start at insertion time, so the scan
+        # needs no per-call sort (this used to re-sort on every reservation).
+        for entry in self._entries[engine]:
             if entry.start - cursor >= duration:
                 break
             cursor = max(cursor, entry.end)
@@ -101,7 +117,7 @@ class DeviceTimeline:
         """Place work into the earliest idle gap (capacity discipline)."""
         start = self.find_slot(engine, duration, earliest_start)
         end = start + duration
-        self._entries[engine].append(TimelineEntry(start, end, label))
+        insort(self._entries[engine], TimelineEntry(start, end, label), key=_entry_start)
         self._available[engine] = max(self._available[engine], end)
         return start, end
 

@@ -28,4 +28,17 @@ __all__ = [
     "ScheduledEvent",
     "InMemoryTraceRecorder",
     "TraceRecorder",
+    "BatchEvaluator",
+    "CandidateProgram",
 ]
+
+
+def __getattr__(name: str):
+    # repro.sim.batch imports the bench/core layers, which import this
+    # package back for the engine — resolve the batch evaluator lazily so
+    # the cycle never bites at import time.
+    if name in ("BatchEvaluator", "CandidateProgram"):
+        from repro.sim import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,1120 @@
+"""Vectorized + incremental candidate evaluation for the planner search.
+
+The planner's cold path used to pay three full op-generation passes per
+candidate (eager occupancy bound, lazy critical-path refinement, final
+simulation), each one rebuilding ``Runtime``/``DistributedMatrix`` objects
+and walking Python ``LocalMatmulOp`` dataclasses.  This module collapses all
+of that into a compile-once / price-vectorized / replay-incremental pipeline:
+
+1. **Candidate compilation** (:meth:`BatchEvaluator.compile`) — each
+   (scheme, replication, stationary) candidate is compiled exactly once into
+   a :class:`CandidateProgram`: a flat numpy event table (one row per
+   generated op, columns for rank, shape, operand owners/tiles/bytes and the
+   remote/first-fetch flags) produced by a primitive-int re-implementation of
+   the slicing op generator that allocates no per-op objects.  Symbolic
+   matrices, the tile-byte memo, and the replica-reduction term are cached
+   per (scheme, replication) class and shared by every stationary variant.
+
+2. **Vectorized frontier pricing**
+   (:meth:`BatchEvaluator.frontier_occupancy_bounds`) — the eager occupancy
+   bound for the whole enumerated frontier is one array program: every
+   candidate's event table is priced with the cost model's formulas
+   elementwise (identical operation order, so the results are bit-equal to
+   the scalar path), stacked into (slot, value) pairs in the scalar loop's
+   emission order, and reduced with a single grouped segment-sum
+   (``np.bincount``) followed by a per-device max.  The replica-reduction
+   term is computed once per (scheme, replication) class, not per candidate.
+
+3. **Delta re-simulation** (:meth:`BatchEvaluator.critical_bound`) — the
+   critical-path refinement replays the executor's event stream on the
+   relaxed (contention-free) engine.  Relaxed ranks are independent, so the
+   replay decomposes into per-rank folds over the event table; each fold
+   records periodic checkpoints, and a later candidate whose per-rank stream
+   shares a prefix with a cached trace resumes from the deepest valid
+   checkpoint instead of replaying from zero (checkpoint-and-recompute).
+
+Correctness bar: every number this module produces is **bit-equal** to the
+scalar path (``candidate_lower_bound`` / ``run_ua_point``).  That is achieved
+by mirroring the exact arithmetic (operation and association order) of
+:class:`repro.core.cost_model.CostModel` and by emitting summation terms in
+the exact order of the scalar accumulation loops — ``np.bincount`` adds its
+weights sequentially in input order, so per-slot partial sums round
+identically.  The property suite pins this across dense, block-sparse, and
+MoE-ragged workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.sweep import SweepPoint
+from repro.bench.workloads import Workload
+from repro.core.config import ExecutionConfig
+from repro.core.cost_model import CostModel
+from repro.core.direct import DirectExecutor
+from repro.core.matmul import model_reduce_time
+from repro.core.slicing import apply_iteration_offset, check_coverage, generate_all_ops
+from repro.core.stationary import Stationary, parse_stationary
+from repro.core.structure import (
+    ROLE_A,
+    ROLE_B,
+    ROLE_C,
+    prune_structured_ops,
+    resolve_structure,
+)
+from repro.dist.matrix import DistributedMatrix
+from repro.runtime.runtime import Runtime
+from repro.sim.engine import EventEngine
+from repro.topology.machines import MachineSpec
+from repro.util.indexing import Interval
+from repro.util.validation import check_matmul_shapes
+
+#: Engine slot layout inside one device's occupancy vector.  The order is
+#: arbitrary (the bound takes a max over engines) but must stay fixed.
+_E_COMPUTE, _E_COPY, _E_ACCUMULATE, _E_INGRESS, _E_EGRESS = range(5)
+_NUM_ENGINES = 5
+
+#: Checkpoint interval of the relaxed replay fold (ops between snapshots).
+_CHECKPOINT_EVERY = 8
+#: Cached relaxed-replay traces kept per rank (oldest evicted first).
+_TRACES_PER_RANK = 8
+
+#: Row layout of the enumeration: one flat tuple per op, split into typed
+#: columns once at the end (every value — tile indices, extents, byte counts
+#: — is far below 2**53, so the float64 staging is exact).
+_INT_COLUMNS = ("rank", "m", "n", "k",
+                "a_owner", "b_owner", "c_owner", "a_key", "b_key",
+                "stat_i", "stat_j")
+_BOOL_COLUMNS = ("a_remote", "b_remote", "c_remote", "a_first", "b_first")
+_FLOAT_COLUMNS = ("a_bytes", "b_bytes", "c_bytes", "gemm")
+_ROW_COLUMNS = _INT_COLUMNS + _BOOL_COLUMNS + _FLOAT_COLUMNS
+
+
+class _OpView:
+    """Minimal op stand-in accepted by ``CostModel.structured_op_compute_time``."""
+
+    __slots__ = ("m_bound", "k_bound", "n_bound", "itemsize")
+
+    def __init__(self, m_bound: Interval, k_bound: Interval, n_bound: Interval,
+                 itemsize: int) -> None:
+        self.m_bound = m_bound
+        self.k_bound = k_bound
+        self.n_bound = n_bound
+        self.itemsize = itemsize
+
+    @property
+    def m(self) -> int:
+        return self.m_bound.extent
+
+    @property
+    def n(self) -> int:
+        return self.n_bound.extent
+
+    @property
+    def k(self) -> int:
+        return self.k_bound.extent
+
+
+class _MatrixGeom:
+    """Flat geometry of one distributed operand: splits, owners, tile bytes."""
+
+    __slots__ = ("matrix", "label", "row_splits", "col_splits", "ncols",
+                 "positions", "rpr", "itemsize", "tiles_by_position",
+                 "tile_bytes")
+
+    def __init__(self, matrix: DistributedMatrix, label: str) -> None:
+        self.matrix = matrix
+        self.label = label
+        self.row_splits = matrix.grid.row_splits
+        self.col_splits = matrix.grid.col_splits
+        self.ncols = matrix.grid.num_col_tiles
+        # Position (per-replica owner slot) of each tile, row-major.
+        self.positions = [int(p) for p in matrix._owners.ravel()]
+        self.rpr = matrix.replication.ranks_per_replica
+        self.itemsize = matrix.dtype.itemsize
+        # Same insertion order as the matrix's own position index (row-major
+        # grid walk), which is what ``my_tiles`` iterates.
+        self.tiles_by_position: Dict[int, List[Tuple[int, int]]] = {}
+        for flat, position in enumerate(self.positions):
+            self.tiles_by_position.setdefault(position, []).append(
+                divmod(flat, self.ncols)
+            )
+        self.tile_bytes: Dict[int, float] = {}
+
+    def full_tile_bytes(self, flat: int, structure) -> float:
+        """Whole-tile fetch bytes (structure-scaled), memoized per tile."""
+        cached = self.tile_bytes.get(flat)
+        if cached is None:
+            i, j = divmod(flat, self.ncols)
+            r0, r1 = self.row_splits[i], self.row_splits[i + 1]
+            c0, c1 = self.col_splits[j], self.col_splits[j + 1]
+            cached = (r1 - r0) * (c1 - c0) * self.itemsize
+            if structure is not None:
+                cached *= structure.live_fraction(self.label, Interval(r0, r1),
+                                                  Interval(c0, c1))
+            self.tile_bytes[flat] = cached
+        return cached
+
+
+def _axis_range(splits: Tuple[int, ...], start: int, stop: int) -> range:
+    """Tile-index range overlapping ``[start, stop)`` (TileGrid._axis_range)."""
+    lo = start if start > 0 else 0
+    extent = splits[-1]
+    hi = stop if stop < extent else extent
+    if hi <= lo:
+        return range(0)
+    return range(bisect_right(splits, lo) - 1, bisect_left(splits, hi))
+
+
+@dataclass
+class _ClassData:
+    """State shared by every stationary variant of one (scheme, replication)."""
+
+    a: DistributedMatrix
+    b: DistributedMatrix
+    c: DistributedMatrix
+    a_geom: _MatrixGeom
+    b_geom: _MatrixGeom
+    c_geom: _MatrixGeom
+    reduce_time: float
+
+
+def _split_columns(table: np.ndarray) -> Dict[str, np.ndarray]:
+    """Split a flat ``(num_ops, 20)`` float64 table into typed named columns.
+
+    All values are staged exactly in float64 (tile indices, extents, and byte
+    counts are far below 2**53), so the int64/bool round-trips here are
+    lossless and the split can run lazily — or once over a whole stacked
+    frontier — without changing a single bit.
+    """
+    columns: Dict[str, np.ndarray] = {}
+    for pos, name in enumerate(_ROW_COLUMNS):
+        raw = table[:, pos]
+        if name in _FLOAT_COLUMNS:
+            columns[name] = raw
+        elif name in _BOOL_COLUMNS:
+            columns[name] = raw != 0.0
+        else:
+            columns[name] = raw.astype(np.int64)
+    return columns
+
+
+class CandidateProgram:
+    """One compiled candidate: the flat event table plus lazy derived views.
+
+    The raw table is in *generation* order (the slicing generator's emission
+    order, rank-major).  Typed column views are split lazily — the eager
+    frontier pass works on one stacked table instead, so only candidates that
+    reach refinement pay for their own split.  Priced duration columns are
+    attached by the evaluator's vectorized pricing pass; execution-order
+    views (iteration offset applied) are derived lazily as well.
+    """
+
+    def __init__(self, candidate, cls: _ClassData, table: np.ndarray,
+                 rank_starts: np.ndarray) -> None:
+        self.candidate = candidate
+        self.cls = cls
+        self.table = table
+        self.rank_starts = rank_starts
+        self.num_ops = int(table.shape[0])
+        self.priced = False
+        #: Occupancy bound term (pre reduce-time), generation order.
+        self.occupancy: Optional[float] = None
+        #: Occupancy floor summed in execution order — the critical-path
+        #: bound recomputes its floor over the offset stream, whose different
+        #: summation order rounds differently in general.
+        self.occupancy_exec: Optional[float] = None
+        self._col: Optional[Dict[str, np.ndarray]] = None
+        self._dur: Optional[Dict[str, np.ndarray]] = None
+        self._exec: Optional[Dict[str, np.ndarray]] = None
+        self._real_ops = None
+
+    @property
+    def col(self) -> Dict[str, np.ndarray]:
+        """Typed named columns, split from the flat table on first access."""
+        if self._col is None:
+            self._col = _split_columns(self.table)
+            if self._dur is not None:
+                self._col.update(self._dur)
+        return self._col
+
+    def attach_durations(self, durations: Dict[str, np.ndarray]) -> None:
+        """Install the priced duration columns from the vectorized pass."""
+        self._dur = durations
+        if self._col is not None:
+            self._col.update(durations)
+        self.priced = True
+
+    # ------------------------------------------------------------------ #
+    def exec_columns(self, iteration_offset: bool) -> Dict[str, np.ndarray]:
+        """Priced columns permuted into execution order (offset applied)."""
+        if self._exec is None:
+            if iteration_offset:
+                perm = self._offset_permutation()
+            else:
+                perm = np.arange(self.num_ops, dtype=np.int64)
+            cols = {name: arr[perm] for name, arr in self.col.items()}
+            # First-occurrence flags depend on stream order: recompute them
+            # over the permuted stream exactly as the executor's per-rank
+            # tile cache sees it.
+            for key_name, remote_name, first_name in (
+                ("a_key", "a_remote", "a_first"),
+                ("b_key", "b_remote", "b_first"),
+            ):
+                first = np.zeros(self.num_ops, dtype=bool)
+                keys = cols[key_name]
+                remote = cols[remote_name]
+                ranks = cols["rank"]
+                seen: set = set()
+                for i in range(self.num_ops):
+                    if remote[i]:
+                        token = (int(ranks[i]), int(keys[i]))
+                        if token not in seen:
+                            seen.add(token)
+                            first[i] = True
+                cols[first_name] = first
+            self._exec = cols
+        return self._exec
+
+    def _offset_permutation(self) -> np.ndarray:
+        """Per-rank iteration-offset rotation as an index permutation."""
+        stat_i = self.col["stat_i"]
+        stat_j = self.col["stat_j"]
+        perm: List[int] = []
+        starts = self.rank_starts
+        for rank in range(len(starts) - 1):
+            lo, hi = int(starts[rank]), int(starts[rank + 1])
+            groups: Dict[Tuple[int, int], List[int]] = {}
+            order: List[Tuple[int, int]] = []
+            for idx in range(lo, hi):
+                key = (int(stat_i[idx]), int(stat_j[idx]))
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(idx)
+            for key in order:
+                group = groups[key]
+                offset = (key[0] + key[1]) % len(group)
+                perm.extend(group[offset:])
+                perm.extend(group[:offset])
+        return np.asarray(perm, dtype=np.int64)
+
+
+@dataclass
+class _ReplayState:
+    """Snapshot of the per-rank relaxed-replay fold after some prefix of ops."""
+
+    avail_compute: float = 0.0
+    avail_copy: float = 0.0
+    avail_accumulate: float = 0.0
+    #: Remote-tile fetch completion per flat tile id (the executor's cache).
+    cache_a: Dict[int, float] = field(default_factory=dict)
+    cache_b: Dict[int, float] = field(default_factory=dict)
+    #: Issued-but-unconsumed prefetches: op index -> (a ready, b ready).
+    pending: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    next_prefetch: int = 0
+    gemm_start: List[float] = field(default_factory=list)
+    gemm_end: List[float] = field(default_factory=list)
+    acc_end: List[float] = field(default_factory=list)
+
+    def copy(self) -> "_ReplayState":
+        return _ReplayState(
+            avail_compute=self.avail_compute,
+            avail_copy=self.avail_copy,
+            avail_accumulate=self.avail_accumulate,
+            cache_a=dict(self.cache_a),
+            cache_b=dict(self.cache_b),
+            pending=dict(self.pending),
+            next_prefetch=self.next_prefetch,
+            gemm_start=list(self.gemm_start),
+            gemm_end=list(self.gemm_end),
+            acc_end=list(self.acc_end),
+        )
+
+
+@dataclass
+class _RankTrace:
+    """One cached relaxed replay: the stream key, its finish, checkpoints."""
+
+    key: np.ndarray
+    finish: float
+    checkpoints: List[Tuple[int, _ReplayState]]
+
+
+class BatchEvaluator:
+    """Compile-once, price-vectorized, replay-incremental candidate evaluator.
+
+    One instance serves one ``search_partitionings`` call: it owns the cached
+    candidate programs, the per-class symbolic matrices, one reusable
+    :class:`EventEngine` (reset between simulations instead of rebuilt), and
+    the relaxed-replay trace cache that powers delta re-simulation.  Only
+    valid for ``simulate_only`` direct-mode configs — the matrices it shares
+    across candidates carry no data.
+    """
+
+    def __init__(self, machine: MachineSpec, workload: Workload,
+                 config: Optional[ExecutionConfig] = None) -> None:
+        self.machine = machine
+        self.workload = workload
+        self.config = config or ExecutionConfig(simulate_only=True)
+        if not self.config.simulate_only:
+            raise ValueError("BatchEvaluator shares symbolic matrices across "
+                             "candidates; it requires simulate_only configs")
+        self.cost_model = CostModel(machine)
+        self.structure = resolve_structure(workload.structure)
+        self.m, self.n, self.k = check_matmul_shapes(*workload.shapes)
+        self._structure_validated = False
+        # One runtime for every symbolic matrix: unmaterialized creates never
+        # touch runtime state, and rebuilding heaps/pools per class is pure
+        # overhead on the cold path.
+        self._runtime = Runtime(machine=machine)
+        self._axis_ranges: Dict[Tuple[Tuple[int, ...], int, int], range] = {}
+        self._classes: Dict[Tuple[int, Tuple[int, int, int]], _ClassData] = {}
+        self._programs: Dict[Tuple[int, Tuple[int, int, int], str],
+                             CandidateProgram] = {}
+        self._engine = EventEngine(machine.num_devices)
+        self._replay_cache: Dict[int, List[_RankTrace]] = {}
+        # Pairwise latency/bandwidth tables for vectorized pricing.
+        topology = machine.topology
+        p = machine.num_devices
+        self._lat = np.array([[topology.latency(s, d) for d in range(p)]
+                              for s in range(p)], dtype=np.float64)
+        self._bw = np.array([[topology.bandwidth(s, d) for d in range(p)]
+                             for s in range(p)], dtype=np.float64)
+        #: Seconds spent compiling candidate event tables (op generation).
+        self.opgen_seconds = 0.0
+        #: Relaxed-replay reuse counters: cold folds, checkpoint resumes,
+        #: and whole-trace hits.
+        self.replay_stats = {"cold": 0, "delta": 0, "full": 0}
+
+    # ------------------------------------------------------------------ #
+    # candidate compilation
+    # ------------------------------------------------------------------ #
+    def _class_data(self, candidate) -> _ClassData:
+        key = (id(candidate.scheme), tuple(candidate.replication))
+        data = self._classes.get(key)
+        if data is None:
+            runtime = self._runtime
+            rep_a, rep_b, rep_c = candidate.replication
+            p = self.machine.num_devices
+            part_a, part_b, part_c = candidate.scheme.partitions(
+                self.workload, p // rep_a, p // rep_b, p // rep_c
+            )
+            a_shape, b_shape, c_shape = self.workload.shapes
+            a = DistributedMatrix.create(runtime, a_shape, part_a, replication=rep_a,
+                                         name="A", materialize=False)
+            b = DistributedMatrix.create(runtime, b_shape, part_b, replication=rep_b,
+                                         name="B", materialize=False)
+            c = DistributedMatrix.create(runtime, c_shape, part_c, replication=rep_c,
+                                         name="C", materialize=False)
+            data = _ClassData(
+                a=a, b=b, c=c,
+                a_geom=_MatrixGeom(a, ROLE_A),
+                b_geom=_MatrixGeom(b, ROLE_B),
+                c_geom=_MatrixGeom(c, ROLE_C),
+                reduce_time=model_reduce_time(c, self.cost_model,
+                                              structure=self.structure),
+            )
+            self._classes[key] = data
+        return data
+
+    def compile(self, candidate) -> CandidateProgram:
+        """Build (or fetch) the candidate's flat event table."""
+        key = (id(candidate.scheme), tuple(candidate.replication),
+               candidate.stationary)
+        program = self._programs.get(key)
+        if program is None:
+            started = time.perf_counter()
+            cls = self._class_data(candidate)
+            table, rank_starts = self._enumerate(
+                cls, parse_stationary(candidate.stationary)
+            )
+            program = CandidateProgram(candidate, cls, table, rank_starts)
+            self._programs[key] = program
+            self.opgen_seconds += time.perf_counter() - started
+        return program
+
+    def _enumerate(self, cls: _ClassData, stationary: Stationary):
+        """Primitive-int re-implementation of ``generate_all_ops`` + pruning.
+
+        Emits the exact op stream (same order, same dedup discipline) as the
+        slicing generator followed by ``prune_structured_ops``, without
+        constructing any per-op objects.  The property suite pins equality
+        against the reference generator.
+        """
+        out: List[tuple] = []
+        num_ranks = self.machine.num_devices
+        rank_starts = np.zeros(num_ranks + 1, dtype=np.int64)
+        if stationary is Stationary.C:
+            emit_rank = self._emit_stationary_c
+        elif stationary is Stationary.B:
+            emit_rank = self._emit_stationary_b
+        else:
+            emit_rank = self._emit_stationary_a
+        for rank in range(num_ranks):
+            emit_rank(cls, rank, out)
+            rank_starts[rank + 1] = len(out)
+        table = np.asarray(out, dtype=np.float64)
+        if table.size == 0:
+            table = table.reshape(0, len(_ROW_COLUMNS))
+        return table, rank_starts
+
+    def _axis_range_cached(self, splits: Tuple[int, ...], start: int,
+                           stop: int) -> range:
+        """Memoized ``_axis_range`` — split tuples repeat heavily across the
+        frontier (classes share operand grids), so the bisects amortize."""
+        key = (splits, start, stop)
+        cached = self._axis_ranges.get(key)
+        if cached is None:
+            cached = _axis_range(splits, start, stop)
+            self._axis_ranges[key] = cached
+        return cached
+
+    # -- shared per-op emission ----------------------------------------- #
+    def _emit_op(self, cls: _ClassData, rank: int, out: List[tuple],
+                 seen_a: set, seen_b: set,
+                 a_flat: int, b_flat: int, c_flat: int,
+                 m0: int, m1: int, k0: int, k1: int, n0: int, n1: int,
+                 stat: Tuple[int, int]) -> None:
+        structure = self.structure
+        c_geom = cls.c_geom
+        m_ext = m1 - m0
+        k_ext = k1 - k0
+        n_ext = n1 - n0
+        if structure is not None:
+            mb = Interval(m0, m1)
+            kb = Interval(k0, k1)
+            nb = Interval(n0, n1)
+            # Mirror prune_structured_ops: fully masked cuboids are dropped
+            # before dedup bookkeeping and before any pricing.
+            if structure.flops_fraction(mb, kb, nb) <= 0.0:
+                return
+            fractions = structure.op_fractions(mb, kb, nb)
+            c_bytes = (m_ext * n_ext * c_geom.itemsize) * fractions[3]
+            gemm = self.cost_model.structured_op_compute_time(
+                _OpView(mb, kb, nb, c_geom.itemsize), structure, fractions
+            )
+        else:
+            c_bytes = m_ext * n_ext * c_geom.itemsize
+            gemm = 0.0  # dense GEMMs are priced vectorized later
+        a_geom, b_geom = cls.a_geom, cls.b_geom
+        a_owner = (rank // a_geom.rpr) * a_geom.rpr + a_geom.positions[a_flat]
+        b_owner = (rank // b_geom.rpr) * b_geom.rpr + b_geom.positions[b_flat]
+        c_owner = (rank // c_geom.rpr) * c_geom.rpr + c_geom.positions[c_flat]
+        a_remote = a_owner != rank
+        b_remote = b_owner != rank
+        a_first = False
+        if a_remote and a_flat not in seen_a:
+            seen_a.add(a_flat)
+            a_first = True
+        b_first = False
+        if b_remote and b_flat not in seen_b:
+            seen_b.add(b_flat)
+            b_first = True
+        out.append((
+            rank, m_ext, n_ext, k_ext,
+            a_owner, b_owner, c_owner, a_flat, b_flat, stat[0], stat[1],
+            a_remote, b_remote, c_owner != rank, a_first, b_first,
+            a_geom.full_tile_bytes(a_flat, structure),
+            b_geom.full_tile_bytes(b_flat, structure),
+            c_bytes, gemm,
+        ))
+
+    def _emit_stationary_c(self, cls: _ClassData, rank: int, out) -> None:
+        a, b, c = cls.a_geom, cls.b_geom, cls.c_geom
+        replica = rank // c.rpr
+        k_share0, k_share1 = cls.c.replication.work_share(replica, self.k)
+        seen_a: set = set()
+        seen_b: set = set()
+        for (ci, cj) in c.tiles_by_position.get(rank % c.rpr, ()):
+            c_r0, c_r1 = c.row_splits[ci], c.row_splits[ci + 1]
+            c_c0, c_c1 = c.col_splits[cj], c.col_splits[cj + 1]
+            a_cols = self._axis_range_cached(a.col_splits, k_share0, k_share1)
+            b_cols = self._axis_range_cached(b.col_splits, c_c0, c_c1)
+            for ai in self._axis_range_cached(a.row_splits, c_r0, c_r1):
+                a_r0, a_r1 = a.row_splits[ai], a.row_splits[ai + 1]
+                m0 = c_r0 if c_r0 > a_r0 else a_r0
+                m1 = c_r1 if c_r1 < a_r1 else a_r1
+                if m1 <= m0:
+                    continue
+                for aj in a_cols:
+                    a_c0, a_c1 = a.col_splits[aj], a.col_splits[aj + 1]
+                    ka0 = a_c0 if a_c0 > k_share0 else k_share0
+                    ka1 = a_c1 if a_c1 < k_share1 else k_share1
+                    if ka1 <= ka0:
+                        continue
+                    a_flat = ai * a.ncols + aj
+                    for bi in self._axis_range_cached(b.row_splits, ka0, ka1):
+                        b_r0, b_r1 = b.row_splits[bi], b.row_splits[bi + 1]
+                        kk0 = ka0 if ka0 > b_r0 else b_r0
+                        kk1 = ka1 if ka1 < b_r1 else b_r1
+                        if kk1 <= kk0:
+                            continue
+                        for bj in b_cols:
+                            b_c0, b_c1 = b.col_splits[bj], b.col_splits[bj + 1]
+                            nn0 = b_c0 if b_c0 > c_c0 else c_c0
+                            nn1 = b_c1 if b_c1 < c_c1 else c_c1
+                            if nn1 <= nn0:
+                                continue
+                            self._emit_op(cls, rank, out, seen_a, seen_b,
+                                          a_flat, bi * b.ncols + bj,
+                                          ci * c.ncols + cj,
+                                          m0, m1, kk0, kk1, nn0, nn1, (ci, cj))
+
+    def _emit_stationary_b(self, cls: _ClassData, rank: int, out) -> None:
+        a, b, c = cls.a_geom, cls.b_geom, cls.c_geom
+        replica = rank // b.rpr
+        m_share0, m_share1 = cls.b.replication.work_share(replica, self.m)
+        seen_a: set = set()
+        seen_b: set = set()
+        for (bi, bj) in b.tiles_by_position.get(rank % b.rpr, ()):
+            b_r0, b_r1 = b.row_splits[bi], b.row_splits[bi + 1]
+            b_c0, b_c1 = b.col_splits[bj], b.col_splits[bj + 1]
+            b_flat = bi * b.ncols + bj
+            a_cols = self._axis_range_cached(a.col_splits, b_r0, b_r1)
+            c_cols = self._axis_range_cached(c.col_splits, b_c0, b_c1)
+            for ai in self._axis_range_cached(a.row_splits, m_share0, m_share1):
+                a_r0, a_r1 = a.row_splits[ai], a.row_splits[ai + 1]
+                ma0 = a_r0 if a_r0 > m_share0 else m_share0
+                ma1 = a_r1 if a_r1 < m_share1 else m_share1
+                if ma1 <= ma0:
+                    continue
+                for aj in a_cols:
+                    a_c0, a_c1 = a.col_splits[aj], a.col_splits[aj + 1]
+                    kk0 = a_c0 if a_c0 > b_r0 else b_r0
+                    kk1 = a_c1 if a_c1 < b_r1 else b_r1
+                    if kk1 <= kk0:
+                        continue
+                    a_flat = ai * a.ncols + aj
+                    for ci in self._axis_range_cached(c.row_splits, ma0, ma1):
+                        c_r0, c_r1 = c.row_splits[ci], c.row_splits[ci + 1]
+                        m0 = ma0 if ma0 > c_r0 else c_r0
+                        m1 = ma1 if ma1 < c_r1 else c_r1
+                        if m1 <= m0:
+                            continue
+                        for cj in c_cols:
+                            c_c0, c_c1 = c.col_splits[cj], c.col_splits[cj + 1]
+                            nn0 = b_c0 if b_c0 > c_c0 else c_c0
+                            nn1 = b_c1 if b_c1 < c_c1 else c_c1
+                            if nn1 <= nn0:
+                                continue
+                            self._emit_op(cls, rank, out, seen_a, seen_b,
+                                          a_flat, b_flat, ci * c.ncols + cj,
+                                          m0, m1, kk0, kk1, nn0, nn1, (bi, bj))
+
+    def _emit_stationary_a(self, cls: _ClassData, rank: int, out) -> None:
+        a, b, c = cls.a_geom, cls.b_geom, cls.c_geom
+        replica = rank // a.rpr
+        n_share0, n_share1 = cls.a.replication.work_share(replica, self.n)
+        seen_a: set = set()
+        seen_b: set = set()
+        for (ai, aj) in a.tiles_by_position.get(rank % a.rpr, ()):
+            a_r0, a_r1 = a.row_splits[ai], a.row_splits[ai + 1]
+            a_c0, a_c1 = a.col_splits[aj], a.col_splits[aj + 1]
+            a_flat = ai * a.ncols + aj
+            b_cols = self._axis_range_cached(b.col_splits, n_share0, n_share1)
+            for bi in self._axis_range_cached(b.row_splits, a_c0, a_c1):
+                b_r0, b_r1 = b.row_splits[bi], b.row_splits[bi + 1]
+                kk0 = a_c0 if a_c0 > b_r0 else b_r0
+                kk1 = a_c1 if a_c1 < b_r1 else b_r1
+                if kk1 <= kk0:
+                    continue
+                for bj in b_cols:
+                    b_c0, b_c1 = b.col_splits[bj], b.col_splits[bj + 1]
+                    nb0 = b_c0 if b_c0 > n_share0 else n_share0
+                    nb1 = b_c1 if b_c1 < n_share1 else n_share1
+                    if nb1 <= nb0:
+                        continue
+                    b_flat = bi * b.ncols + bj
+                    c_cols = self._axis_range_cached(c.col_splits, nb0, nb1)
+                    for ci in self._axis_range_cached(c.row_splits, a_r0, a_r1):
+                        c_r0, c_r1 = c.row_splits[ci], c.row_splits[ci + 1]
+                        m0 = a_r0 if a_r0 > c_r0 else c_r0
+                        m1 = a_r1 if a_r1 < c_r1 else c_r1
+                        if m1 <= m0:
+                            continue
+                        for cj in c_cols:
+                            c_c0, c_c1 = c.col_splits[cj], c.col_splits[cj + 1]
+                            nn0 = nb0 if nb0 > c_c0 else c_c0
+                            nn1 = nb1 if nb1 < c_c1 else c_c1
+                            if nn1 <= nn0:
+                                continue
+                            self._emit_op(cls, rank, out, seen_a, seen_b,
+                                          a_flat, b_flat, ci * c.ncols + cj,
+                                          m0, m1, kk0, kk1, nn0, nn1, (ai, aj))
+
+    # ------------------------------------------------------------------ #
+    # vectorized pricing
+    # ------------------------------------------------------------------ #
+    def _duration_columns(self, col: Dict[str, np.ndarray],
+                          c_itemsize: float) -> Dict[str, np.ndarray]:
+        """Price one (possibly stacked) column set in a single array pass.
+
+        Every formula below mirrors the corresponding ``CostModel`` method
+        operation-for-operation (same association order, same guards), which
+        is what makes the vectorized durations bit-equal to the scalar ones.
+        """
+        machine = self.machine
+        shape = self.cost_model.shape_model
+        launch = machine.kernel_launch_overhead
+        acc_eff = max(machine.accumulate_efficiency, 1.0e-6)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if self.structure is None:
+                # CostModel.gemm_time — the op generator stamps ops with
+                # c.dtype.itemsize, shared by the whole workload.
+                m, n, k = col["m"], col["n"], col["k"]
+                flops = 2.0 * m * n * k
+                bytes_touched = c_itemsize * (m * k + k * n + 2 * m * n)
+                efficiency = machine.gemm_efficiency * (
+                    (m / (m + shape.m_half)) * (n / (n + shape.n_half))
+                    * (k / (k + shape.k_half))
+                )
+                compute_time = flops / (machine.flops_peak
+                                        * np.maximum(efficiency, 1.0e-3))
+                memory_time = bytes_touched / machine.memory_bandwidth
+                gemm = np.maximum(compute_time, memory_time) + launch
+            else:
+                gemm = col["gemm"]  # priced scalar at compile time
+
+            rank = col["rank"]
+            c_owner = col["c_owner"]
+            c_bytes = col["c_bytes"]
+            c_remote = col["c_remote"]
+            # CostModel.accumulate_time(rank, c_owner, c_bytes)
+            lat = self._lat[rank, c_owner]
+            transfer = lat + c_bytes / self._bw[rank, c_owner]
+            remote_acc = launch + lat + (transfer - lat) / acc_eff
+            # CostModel.local_accumulate_time(c_bytes)
+            local_acc = 3.0 * c_bytes / machine.memory_bandwidth + launch
+            acc = np.where(c_bytes <= 0, 0.0,
+                           np.where(c_remote, remote_acc, local_acc))
+            # CostModel.device_link_time(c_bytes, accumulate=True)
+            ingress = np.where(c_bytes <= 0, 0.0,
+                               (c_bytes / machine.device_link_bandwidth) / acc_eff)
+
+            fetch: Dict[str, np.ndarray] = {}
+            egress: Dict[str, np.ndarray] = {}
+            for side in ("a", "b"):
+                owner = col[f"{side}_owner"]
+                nbytes = col[f"{side}_bytes"]
+                # CostModel.transfer_time(owner, rank, nbytes) — only remote
+                # rows are ever consumed, so the src == dst guard is subsumed
+                # by the remote mask at assembly time.
+                duration = self._lat[owner, rank] + nbytes / self._bw[owner, rank]
+                fetch[side] = np.where(nbytes <= 0, 0.0, duration)
+                # CostModel.device_link_time(nbytes)
+                egress[side] = np.where(nbytes <= 0, 0.0,
+                                        nbytes / machine.device_link_bandwidth)
+
+        return {"gemm": gemm, "acc": acc, "ingress": ingress,
+                "a_fetch": fetch["a"], "b_fetch": fetch["b"],
+                "a_egress": egress["a"], "b_egress": egress["b"]}
+
+    def _price_programs(self, programs: Sequence[CandidateProgram]) -> None:
+        """Attach duration columns to each unpriced program."""
+        todo = [p for p in programs if not p.priced]
+        if not todo:
+            return
+        if len(todo) == 1:
+            program = todo[0]
+            program.attach_durations(self._duration_columns(
+                program.col, float(program.cls.c_geom.itemsize)))
+            return
+        offsets = np.cumsum([0] + [p.num_ops for p in todo])
+        stacked = _split_columns(np.concatenate([p.table for p in todo]))
+        durations = self._duration_columns(
+            stacked, float(todo[0].cls.c_geom.itemsize))
+        for i, program in enumerate(todo):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            program.attach_durations(
+                {name: arr[lo:hi] for name, arr in durations.items()})
+
+    def _occupancy_rows(self, cols: Dict[str, np.ndarray]
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """(slot, value) pairs in the scalar occupancy loop's emission order.
+
+        Seven terms per op, row-major, matching ``direct_lower_bound``:
+        GEMM -> accumulate (remote on the accumulate engine, local on
+        compute) -> ingress -> fetch A -> egress A -> fetch B -> egress B.
+        Terms the scalar loop never adds are routed to a per-candidate trash
+        slot with value 0.
+        """
+        num = cols["rank"].shape[0]
+        p = self.machine.num_devices
+        trash = p * _NUM_ENGINES
+        slots = np.empty((num, 7), dtype=np.int64)
+        vals = np.zeros((num, 7), dtype=np.float64)
+        base = cols["rank"] * _NUM_ENGINES
+        c_remote = cols["c_remote"]
+        slots[:, 0] = base + _E_COMPUTE
+        vals[:, 0] = cols["gemm"]
+        slots[:, 1] = np.where(c_remote, base + _E_ACCUMULATE, base + _E_COMPUTE)
+        vals[:, 1] = cols["acc"]
+        slots[:, 2] = np.where(c_remote,
+                               cols["c_owner"] * _NUM_ENGINES + _E_INGRESS, trash)
+        vals[:, 2] = np.where(c_remote, cols["ingress"], 0.0)
+        cache = self.config.cache_remote_tiles
+        for offset, side in ((3, "a"), (5, "b")):
+            emit = cols[f"{side}_remote"]
+            if cache:
+                emit = emit & cols[f"{side}_first"]
+            slots[:, offset] = np.where(emit, base + _E_COPY, trash)
+            vals[:, offset] = np.where(emit, cols[f"{side}_fetch"], 0.0)
+            slots[:, offset + 1] = np.where(
+                emit, cols[f"{side}_owner"] * _NUM_ENGINES + _E_EGRESS, trash)
+            vals[:, offset + 1] = np.where(emit, cols[f"{side}_egress"], 0.0)
+        return slots.reshape(-1), vals.reshape(-1)
+
+    def frontier_occupancy_bounds(self, candidates) -> List[float]:
+        """Occupancy bound (+ class reduce term) for a whole frontier at once.
+
+        One grouped segment-sum over the stacked event tables: each
+        candidate's terms land in its own slot range, ``np.bincount``
+        accumulates them sequentially in emission order (bit-equal to the
+        scalar loop), and a per-device max finishes the bound.
+        """
+        programs = [self.compile(candidate) for candidate in candidates]
+        if not programs:
+            return []
+        counts = np.asarray([p.num_ops for p in programs], dtype=np.int64)
+        offsets = np.zeros(len(programs) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        # One stacked split + one pricing pass for the whole frontier; the
+        # per-program duration slices are views into the stacked arrays.
+        stacked = _split_columns(np.concatenate([p.table for p in programs]))
+        durations = self._duration_columns(
+            stacked, float(programs[0].cls.c_geom.itemsize))
+        for i, program in enumerate(programs):
+            if not program.priced:
+                lo, hi = int(offsets[i]), int(offsets[i + 1])
+                program.attach_durations(
+                    {name: arr[lo:hi] for name, arr in durations.items()})
+        stacked.update(durations)
+        p = self.machine.num_devices
+        stride = p * _NUM_ENGINES + 1
+        slots, vals = self._occupancy_rows(stacked)
+        # Offset each row's 7 slots into its candidate's segment: rows are
+        # program-major, so the global accumulation order matches the
+        # per-program scalar loops chunk for chunk.
+        prog_idx = np.repeat(np.arange(len(programs), dtype=np.int64), counts)
+        slots += np.repeat(prog_idx * stride, 7)
+        totals = np.bincount(slots, weights=vals,
+                             minlength=len(programs) * stride)
+        per_engine = totals.reshape(len(programs), stride)[:, :p * _NUM_ENGINES]
+        occupancy = per_engine.max(axis=1)
+        bounds = []
+        for program, occ in zip(programs, occupancy):
+            program.occupancy = float(occ)
+            bounds.append(float(occ) + program.cls.reduce_time)
+        return bounds
+
+    def _single_occupancy(self, cols: Dict[str, np.ndarray]) -> float:
+        slots, vals = self._occupancy_rows(cols)
+        p = self.machine.num_devices
+        totals = np.bincount(slots, weights=vals,
+                             minlength=p * _NUM_ENGINES + 1)
+        return float(totals[:p * _NUM_ENGINES].max())
+
+    # ------------------------------------------------------------------ #
+    # critical-path refinement (relaxed replay with delta reuse)
+    # ------------------------------------------------------------------ #
+    def critical_bound(self, candidate) -> float:
+        """Critical-path lower bound + reduce term, bit-equal to the scalar path.
+
+        Replays the executor's per-rank event stream (execution order,
+        iteration offset applied) on the relaxed timing recurrence; ranks
+        sharing a stream prefix with a cached trace resume from the deepest
+        valid checkpoint.  Floored by the occupancy bound summed over the
+        same execution-order stream, exactly as
+        ``CostModel.critical_path_lower_bound`` computes it.
+        """
+        program = self.compile(candidate)
+        self._price_programs([program])
+        cols = program.exec_columns(self.config.iteration_offset)
+        # Execution order is rank-major (the offset rotates within ranks),
+        # so each rank's stream is one contiguous slice.
+        boundaries = np.searchsorted(
+            cols["rank"], np.arange(self.machine.num_devices + 1)
+        )
+        relaxed = 0.0
+        for device in range(self.machine.num_devices):
+            lo, hi = int(boundaries[device]), int(boundaries[device + 1])
+            finish = self._replay_rank(device, cols, lo, hi)
+            if finish > relaxed:
+                relaxed = finish
+        if program.occupancy_exec is None:
+            program.occupancy_exec = self._single_occupancy(cols)
+        occupancy = program.occupancy_exec
+        value = relaxed if relaxed > occupancy else occupancy
+        return value + program.cls.reduce_time
+
+    def _replay_rank(self, rank: int, cols: Dict[str, np.ndarray],
+                     lo: int, hi: int) -> float:
+        num = hi - lo
+        if num == 0:
+            return 0.0
+        key_matrix = np.column_stack([
+            cols["gemm"][lo:hi],
+            cols["c_remote"][lo:hi].astype(np.float64),
+            cols["acc"][lo:hi],
+            cols["a_remote"][lo:hi].astype(np.float64),
+            cols["a_key"][lo:hi].astype(np.float64),
+            cols["a_fetch"][lo:hi],
+            cols["b_remote"][lo:hi].astype(np.float64),
+            cols["b_key"][lo:hi].astype(np.float64),
+            cols["b_fetch"][lo:hi],
+        ])
+        traces = self._replay_cache.setdefault(rank, [])
+        depth = self.config.prefetch_depth
+        best_resume = 0
+        best_state: Optional[_ReplayState] = None
+        best_trace: Optional[_RankTrace] = None
+        for trace in traces:
+            if trace.key.shape == key_matrix.shape and \
+                    np.array_equal(trace.key, key_matrix):
+                self.replay_stats["full"] += 1
+                return trace.finish
+            limit = min(trace.key.shape[0], num)
+            if limit == 0:
+                continue
+            eq = (trace.key[:limit] == key_matrix[:limit]).all(axis=1)
+            common = limit if bool(eq.all()) else int(np.argmin(eq))
+            for index, state in reversed(trace.checkpoints):
+                # A checkpoint taken after op index-1 has consumed stream
+                # rows [0, index + depth); it transfers iff those rows are
+                # shared with the new stream and the old fold's prefetch
+                # horizon was not tail-clamped at that point.
+                if index > best_resume and index + depth <= common \
+                        and index + depth <= trace.key.shape[0]:
+                    best_resume = index
+                    best_state = state
+                    best_trace = trace
+                    break
+        if best_state is not None:
+            self.replay_stats["delta"] += 1
+            state = best_state.copy()
+            # Checkpoints of the shared prefix remain valid for this stream.
+            inherited = [cp for cp in best_trace.checkpoints
+                         if cp[0] <= best_resume]
+        else:
+            self.replay_stats["cold"] += 1
+            state = _ReplayState()
+            inherited = []
+        finish, checkpoints = self._fold(cols, lo, num, best_resume, state)
+        traces.append(_RankTrace(key=key_matrix, finish=finish,
+                                 checkpoints=inherited + checkpoints))
+        if len(traces) > _TRACES_PER_RANK:
+            del traces[0]
+        return finish
+
+    def _fold(self, cols: Dict[str, np.ndarray], lo: int, num: int,
+              start: int, state: _ReplayState):
+        """The relaxed-engine timing recurrence for one rank's op stream.
+
+        Mirrors ``DirectExecutor._process_op`` running on
+        ``EventEngine(contention=False)``: prefetch issue floors, the
+        per-engine FIFO availability updates, the async concurrency windows,
+        and the accumulate-compute interference slice.  Mutates ``state``
+        (callers pass a fresh or copied snapshot) and returns the rank finish
+        time plus the checkpoints recorded along the way.
+        """
+        config = self.config
+        depth = config.prefetch_depth
+        async_ = config.async_execution
+        w_acc = config.max_concurrent_accumulates
+        w_g = config.max_concurrent_gemms
+        cache_tiles = config.cache_remote_tiles
+        interference = self.machine.accumulate_compute_interference
+        hi = lo + num
+        gemm_dur = cols["gemm"][lo:hi].tolist()
+        c_rem = cols["c_remote"][lo:hi].tolist()
+        acc_dur = cols["acc"][lo:hi].tolist()
+        a_rem = cols["a_remote"][lo:hi].tolist()
+        a_key = cols["a_key"][lo:hi].tolist()
+        a_fetch = cols["a_fetch"][lo:hi].tolist()
+        b_rem = cols["b_remote"][lo:hi].tolist()
+        b_key = cols["b_key"][lo:hi].tolist()
+        b_fetch = cols["b_fetch"][lo:hi].tolist()
+
+        avail_c = state.avail_compute
+        avail_cp = state.avail_copy
+        avail_a = state.avail_accumulate
+        cache_a = state.cache_a
+        cache_b = state.cache_b
+        pending = state.pending
+        next_pref = state.next_prefetch
+        gemm_start = state.gemm_start
+        gemm_end = state.gemm_end
+        acc_end = state.acc_end
+        checkpoints: List[Tuple[int, _ReplayState]] = []
+
+        def issue(j: int, floor: float) -> None:
+            nonlocal avail_cp
+            if a_rem[j]:
+                if cache_tiles:
+                    end = cache_a.get(a_key[j])
+                    if end is None:
+                        begin = floor if floor > avail_cp else avail_cp
+                        end = begin + a_fetch[j]
+                        avail_cp = end
+                        cache_a[a_key[j]] = end
+                    a_end = end
+                else:
+                    begin = floor if floor > avail_cp else avail_cp
+                    avail_cp = begin + a_fetch[j]
+                    a_end = avail_cp
+            else:
+                a_end = 0.0
+            if b_rem[j]:
+                if cache_tiles:
+                    end = cache_b.get(b_key[j])
+                    if end is None:
+                        begin = floor if floor > avail_cp else avail_cp
+                        end = begin + b_fetch[j]
+                        avail_cp = end
+                        cache_b[b_key[j]] = end
+                    b_end = end
+                else:
+                    begin = floor if floor > avail_cp else avail_cp
+                    avail_cp = begin + b_fetch[j]
+                    b_end = avail_cp
+            else:
+                b_end = 0.0
+            pending[j] = (a_end, b_end)
+
+        for i in range(start, num):
+            floor = gemm_start[i - 1] if i > 0 else 0.0
+            if not async_ and i > 0 and acc_end[i - 1] > floor:
+                floor = acc_end[i - 1]
+            horizon = i + depth
+            if horizon > num - 1:
+                horizon = num - 1
+            while next_pref <= horizon:
+                issue(next_pref, floor)
+                next_pref += 1
+            if next_pref <= i:
+                # prefetch_depth == 0 path: fetch exactly when needed.
+                issue(i, floor)
+                next_pref = i + 1
+            a_end, b_end = pending.pop(i)
+            earliest = a_end if a_end > b_end else b_end
+            if async_:
+                if i >= w_acc and acc_end[i - w_acc] > earliest:
+                    earliest = acc_end[i - w_acc]
+                if i >= w_g and gemm_end[i - w_g] > earliest:
+                    earliest = gemm_end[i - w_g]
+            elif i > 0 and acc_end[i - 1] > earliest:
+                earliest = acc_end[i - 1]
+            begin = earliest if earliest > avail_c else avail_c
+            finish = begin + gemm_dur[i]
+            avail_c = finish
+            gemm_start.append(begin)
+            gemm_end.append(finish)
+            if c_rem[i]:
+                acc_begin = finish if finish > avail_a else avail_a
+                acc_finish = acc_begin + acc_dur[i]
+                avail_a = acc_finish
+                if interference > 0.0:
+                    slice_begin = acc_begin if acc_begin > avail_c else avail_c
+                    avail_c = slice_begin + acc_dur[i] * interference
+            else:
+                acc_begin = finish if finish > avail_c else avail_c
+                acc_finish = acc_begin + acc_dur[i]
+                avail_c = acc_finish
+            acc_end.append(acc_finish)
+            done = i + 1
+            if done % _CHECKPOINT_EVERY == 0 and done < num:
+                checkpoints.append((done, _ReplayState(
+                    avail_compute=avail_c, avail_copy=avail_cp,
+                    avail_accumulate=avail_a,
+                    cache_a=dict(cache_a), cache_b=dict(cache_b),
+                    pending=dict(pending), next_prefetch=next_pref,
+                    gemm_start=list(gemm_start), gemm_end=list(gemm_end),
+                    acc_end=list(acc_end),
+                )))
+
+        finish_time = avail_c
+        if avail_cp > finish_time:
+            finish_time = avail_cp
+        if avail_a > finish_time:
+            finish_time = avail_a
+        return finish_time, checkpoints
+
+    # ------------------------------------------------------------------ #
+    # batch simulation
+    # ------------------------------------------------------------------ #
+    def real_ops(self, candidate):
+        """The candidate's real (pruned) ``LocalMatmulOp`` lists, cached.
+
+        Only candidates that reach full simulation pay for op-object
+        construction; the bound paths never touch this.
+        """
+        program = self.compile(candidate)
+        if program._real_ops is None:
+            cls = program.cls
+            per_rank_ops = generate_all_ops(
+                cls.a, cls.b, cls.c, parse_stationary(candidate.stationary)
+            )
+            if self.config.validate_ops:
+                # Coverage is an envelope invariant: checked pre-pruning,
+                # exactly as universal_matmul does.
+                check_coverage(cls.a, cls.b, cls.c, per_rank_ops)
+            if self.structure is not None:
+                per_rank_ops = prune_structured_ops(per_rank_ops, self.structure)
+            program._real_ops = per_rank_ops
+        return program._real_ops
+
+    def simulate(self, candidate) -> SweepPoint:
+        """Full contended simulation, bit-equal to ``run_ua_point``.
+
+        Reuses the class's symbolic matrices and the evaluator's single
+        :class:`EventEngine` (``reset()`` between candidates) instead of
+        rebuilding ``Runtime``/``DistributedMatrix``/engine per point.
+        """
+        program = self.compile(candidate)
+        cls = program.cls
+        if self.structure is not None and not self._structure_validated:
+            self.structure.validate(self.m, self.n, self.k)
+            self._structure_validated = True
+        per_rank_ops = self.real_ops(candidate)
+        if self.config.iteration_offset:
+            per_rank_ops = {
+                rank: apply_iteration_offset(ops)
+                for rank, ops in per_rank_ops.items()
+            }
+        self._engine.reset()
+        executor = DirectExecutor(cls.a, cls.b, cls.c, self.cost_model,
+                                  self.config, engine=self._engine,
+                                  structure=self.structure)
+        makespan, per_rank_stats = executor.execute(per_rank_ops)
+        reduce_time = cls.reduce_time if cls.c.replication.num_replicas > 1 else 0.0
+        if self.structure is None:
+            total_flops = 2 * self.m * self.n * self.k
+        else:
+            total_flops = self.structure.effective_flops(self.m, self.n, self.k)
+        simulated_time = makespan + reduce_time
+        extra = {
+            "remote_get_bytes": sum(s.remote_get_bytes
+                                    for s in per_rank_stats.values()),
+            "remote_accumulate_bytes": sum(s.remote_accumulate_bytes
+                                           for s in per_rank_stats.values()),
+            "total_ops": sum(len(ops) for ops in per_rank_ops.values()),
+        }
+        if not self.workload.structure.is_dense:
+            extra["structure"] = self.workload.structure.signature_token()
+        return SweepPoint(
+            series=candidate.scheme.label,
+            workload=self.workload.name,
+            batch=self.workload.m,
+            percent_of_peak=self.cost_model.percent_of_peak(total_flops,
+                                                            simulated_time),
+            simulated_time=simulated_time,
+            stationary=parse_stationary(candidate.stationary).value,
+            replication=tuple(candidate.replication),
+            extra=extra,
+        )

@@ -34,6 +34,7 @@ from repro.runtime.clock import (
     COMPUTE,
     COPY,
     EGRESS,
+    ENGINES,
     INGRESS,
     SimClock,
 )
@@ -288,8 +289,6 @@ class EventEngine:
 
     def total_busy_time(self) -> float:
         """Summed occupancy across every engine of every device."""
-        from repro.runtime.clock import ENGINES
-
         return sum(
             self.clock.device(d).busy_time(engine)
             for d in range(self.num_devices)

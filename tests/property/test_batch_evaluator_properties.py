@@ -1,0 +1,231 @@
+"""Property pins for the vectorized + incremental evaluation core.
+
+The batch evaluator's contract is *bit-equality* with the scalar path — not
+tolerance-based closeness.  Anything weaker would let the pruned search
+return different recommendations under the two evaluators on exact ties,
+which the planner tests pin.  Four families:
+
+1. **Vectorized frontier pricing** — ``frontier_occupancy_bounds`` equals the
+   scalar ``candidate_lower_bound(..., BOUND_OCCUPANCY)`` with ``==`` across
+   randomized machines, configs, and dense/block-sparse/MoE-ragged workloads.
+2. **Delta re-simulation** — the critical-path bound from a *warm* evaluator
+   (replay caches populated by earlier candidates, checkpoint resumes taken)
+   equals both the cold evaluator's answer and the scalar relaxed replay.
+3. **Compiled event tables** — the primitive-int enumerator emits exactly the
+   op stream of ``generate_all_ops`` + ``prune_structured_ops``, op for op.
+4. **End-to-end search** — ``search_partitionings`` returns identical
+   recommendations and identical pruning counters under ``use_batch=True``
+   and ``use_batch=False``.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.schemes import ua_schemes
+from repro.bench.sweep import run_ua_point, valid_replication_factors
+from repro.bench.workloads import Workload
+from repro.core.config import ExecutionConfig
+from repro.core.slicing import generate_all_ops
+from repro.core.stationary import parse_stationary
+from repro.core.structure import BlockSparse, MoERagged, prune_structured_ops, resolve_structure
+from repro.planner.search import (
+    BOUND_CRITICAL_PATH,
+    BOUND_OCCUPANCY,
+    candidate_lower_bound,
+    enumerate_candidates,
+    search_partitionings,
+)
+from repro.sim.batch import BatchEvaluator
+from repro.topology.machines import GB, uniform_system
+
+
+@st.composite
+def machine_and_config(draw):
+    num_devices = draw(st.sampled_from([2, 4]))
+    link_gb = draw(st.sampled_from([2, 25, 400]))
+    machine = uniform_system(num_devices, link_bandwidth=link_gb * GB)
+    config = ExecutionConfig(
+        simulate_only=True,
+        prefetch_depth=draw(st.integers(min_value=0, max_value=3)),
+        async_execution=draw(st.booleans()),
+        iteration_offset=draw(st.booleans()),
+        cache_remote_tiles=draw(st.booleans()),
+    )
+    return machine, config
+
+
+@st.composite
+def any_workload(draw):
+    m = draw(st.integers(min_value=2, max_value=5)) * 32
+    n = draw(st.integers(min_value=2, max_value=5)) * 32
+    k = draw(st.integers(min_value=2, max_value=5)) * 32
+    kind = draw(st.sampled_from(["dense", "block_sparse", "moe"]))
+    if kind == "dense":
+        return Workload(f"dense_{m}x{n}x{k}", m, n, k)
+    if kind == "block_sparse":
+        k_blocks, n_blocks = k // 32, n // 32
+        rng = random.Random(draw(st.integers(min_value=0, max_value=2**16)))
+        # At least one live block, arbitrary mask otherwise.
+        mask = [[rng.random() < 0.6 for _ in range(n_blocks)]
+                for _ in range(k_blocks)]
+        mask[rng.randrange(k_blocks)][rng.randrange(n_blocks)] = True
+        structure = BlockSparse(block_k=32, block_n=32,
+                                mask=tuple(tuple(row) for row in mask))
+        return Workload(f"bs_{m}x{n}x{k}", m, n, k, structure=structure)
+    num_experts = draw(st.sampled_from([2, 4]))
+    capacity = m // num_experts
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2**16)))
+    tokens = tuple(rng.randint(0, capacity) for _ in range(num_experts))
+    if sum(tokens) == 0:
+        tokens = (capacity,) + tokens[1:]
+    structure = MoERagged(expert_tokens=tokens, capacity=capacity)
+    return Workload(f"moe_{m}x{n}x{k}", m, n, k, structure=structure)
+
+
+def _candidates(machine, workload):
+    factors = valid_replication_factors(machine.num_devices)
+    candidates, _ = enumerate_candidates(
+        machine, workload, machine.memory_capacity, ua_schemes(), factors,
+        ("A", "B", "C"),
+    )
+    return candidates
+
+
+class TestVectorizedBoundsBitEqual:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(mc=machine_and_config(), workload=any_workload(),
+           data=st.data())
+    def test_frontier_occupancy_equals_scalar(self, mc, workload, data):
+        machine, config = mc
+        candidates = _candidates(machine, workload)
+        # A random slice keeps each example cheap without biasing the space.
+        start = data.draw(st.integers(min_value=0, max_value=max(0, len(candidates) - 12)))
+        subset = candidates[start:start + 12]
+        evaluator = BatchEvaluator(machine, workload, config)
+        bounds = evaluator.frontier_occupancy_bounds(subset)
+        for candidate, batch_bound in zip(subset, bounds):
+            scalar_bound = candidate_lower_bound(machine, workload, candidate,
+                                                 config, BOUND_OCCUPANCY)
+            assert batch_bound == scalar_bound, candidate
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(mc=machine_and_config(), workload=any_workload(),
+           data=st.data())
+    def test_critical_bound_equals_scalar(self, mc, workload, data):
+        machine, config = mc
+        candidates = _candidates(machine, workload)
+        start = data.draw(st.integers(min_value=0, max_value=max(0, len(candidates) - 8)))
+        subset = candidates[start:start + 8]
+        evaluator = BatchEvaluator(machine, workload, config)
+        for candidate in subset:
+            batch_bound = evaluator.critical_bound(candidate)
+            scalar_bound = candidate_lower_bound(machine, workload, candidate,
+                                                 config, BOUND_CRITICAL_PATH)
+            assert batch_bound == scalar_bound, candidate
+
+
+class TestDeltaReplayEqualsCold:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(mc=machine_and_config(), workload=any_workload(),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_warm_evaluator_matches_cold(self, mc, workload, seed):
+        """Checkpoint resumes must be invisible: a warm evaluator (caches
+        populated by a random candidate walk, revisits included) returns the
+        same critical bound a fresh evaluator computes from scratch."""
+        machine, config = mc
+        candidates = _candidates(machine, workload)
+        rng = random.Random(seed)
+        walk = [rng.choice(candidates) for _ in range(10)]
+        walk += rng.sample(walk, k=min(4, len(walk)))  # force revisits
+        warm = BatchEvaluator(machine, workload, config)
+        for candidate in walk:
+            warm_bound = warm.critical_bound(candidate)
+            cold = BatchEvaluator(machine, workload, config)
+            cold_bound = cold.critical_bound(candidate)
+            scalar_bound = candidate_lower_bound(machine, workload, candidate,
+                                                 config, BOUND_CRITICAL_PATH)
+            assert warm_bound == cold_bound == scalar_bound, candidate
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(mc=machine_and_config(), workload=any_workload(),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_simulate_equals_run_ua_point(self, mc, workload, seed):
+        machine, config = mc
+        candidates = _candidates(machine, workload)
+        rng = random.Random(seed)
+        evaluator = BatchEvaluator(machine, workload, config)
+        for candidate in rng.sample(candidates, k=min(4, len(candidates))):
+            batch_point = evaluator.simulate(candidate)
+            scalar_point = run_ua_point(machine, workload, candidate.scheme,
+                                        candidate.replication,
+                                        candidate.stationary, config)
+            assert batch_point == scalar_point, candidate
+
+
+class TestCompiledTableMatchesReference:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(mc=machine_and_config(), workload=any_workload(),
+           data=st.data())
+    def test_event_table_mirrors_generate_all_ops(self, mc, workload, data):
+        """The primitive-int enumerator must emit the exact pruned op stream
+        of the reference generator: same count, order, shapes, and flags."""
+        machine, config = mc
+        candidates = _candidates(machine, workload)
+        candidate = data.draw(st.sampled_from(candidates))
+        evaluator = BatchEvaluator(machine, workload, config)
+        program = evaluator.compile(candidate)
+        cls = program.cls
+        per_rank_ops = generate_all_ops(cls.a, cls.b, cls.c,
+                                        parse_stationary(candidate.stationary))
+        structure = resolve_structure(workload.structure)
+        if structure is not None:
+            per_rank_ops = prune_structured_ops(per_rank_ops, structure)
+        reference = [op for rank in sorted(per_rank_ops)
+                     for op in per_rank_ops[rank]]
+        assert program.num_ops == len(reference)
+        col = program.col
+        for i, op in enumerate(reference):
+            assert col["rank"][i] == op.rank
+            assert col["m"][i] == op.m
+            assert col["n"][i] == op.n
+            assert col["k"][i] == op.k
+            assert col["c_bytes"][i] == (
+                op.c_bytes if structure is None
+                else op.c_bytes * structure.op_fractions(
+                    op.m_bound, op.k_bound, op.n_bound)[3])
+            assert bool(col["a_remote"][i]) == op.a_is_remote
+            assert bool(col["b_remote"][i]) == op.b_is_remote
+            assert bool(col["c_remote"][i]) == op.c_is_remote
+
+
+class TestSearchIdenticalUnderBothEvaluators:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(mc=machine_and_config(), workload=any_workload(),
+           top_k=st.sampled_from([1, 3]), prune=st.booleans())
+    def test_recommendations_and_counters_match(self, mc, workload, top_k, prune):
+        machine, config = mc
+        batch_recs, batch_stats = search_partitionings(
+            machine, workload, top_k=top_k, prune=prune, config=config)
+        scalar_recs, scalar_stats = search_partitionings(
+            machine, workload, top_k=top_k, prune=prune, config=config,
+            use_batch=False)
+
+        def as_tuples(recommendations):
+            return [
+                (rec.scheme.name, rec.replication, rec.stationary,
+                 rec.percent_of_peak, rec.simulated_time, rec.memory_per_device)
+                for rec in recommendations
+            ]
+
+        assert as_tuples(batch_recs) == as_tuples(scalar_recs)
+        assert batch_stats.num_simulated == scalar_stats.num_simulated
+        assert batch_stats.num_pruned == scalar_stats.num_pruned
+        assert batch_stats.num_refined == scalar_stats.num_refined

@@ -1,0 +1,90 @@
+"""Regression pin for the sorted-at-insert DeviceTimeline.
+
+``DeviceTimeline.find_slot`` used to re-sort its entries list on every call;
+the timeline now keeps entries sorted at insertion (``bisect.insort``) and
+the scan runs sort-free.  The optimization must be invisible: on any
+interleaving of FIFO reservations, capacity-slot reservations, and slot
+queries, every returned ``(start, end)`` placement must be identical to the
+old sort-per-call implementation's.  This test replays randomized mixed
+sequences against a faithful reimplementation of the old discipline.
+"""
+
+import random
+
+import pytest
+
+from repro.runtime.clock import ENGINES, DeviceTimeline
+
+
+class _SortPerCallTimeline:
+    """The pre-optimization reference: append unsorted, sort in find_slot."""
+
+    def __init__(self) -> None:
+        self._available = {name: 0.0 for name in ENGINES}
+        self._entries = {name: [] for name in ENGINES}
+
+    def reserve(self, engine, duration, earliest_start=0.0):
+        start = max(earliest_start, self._available[engine])
+        end = start + duration
+        self._available[engine] = end
+        self._entries[engine].append((start, end))
+        return start, end
+
+    def find_slot(self, engine, duration, earliest_start=0.0):
+        cursor = earliest_start
+        for start, end in sorted(self._entries[engine]):
+            if start - cursor >= duration:
+                break
+            cursor = max(cursor, end)
+        return cursor
+
+    def reserve_slot(self, engine, duration, earliest_start=0.0):
+        start = self.find_slot(engine, duration, earliest_start)
+        end = start + duration
+        self._entries[engine].append((start, end))
+        self._available[engine] = max(self._available[engine], end)
+        return start, end
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_mixed_sequences_place_identically(seed):
+    rng = random.Random(seed)
+    new = DeviceTimeline(0)
+    old = _SortPerCallTimeline()
+    for step in range(300):
+        engine = rng.choice(ENGINES)
+        duration = rng.choice([0.0, rng.uniform(0.0, 3.0)])
+        earliest = rng.uniform(0.0, 50.0)
+        op = rng.choice(["reserve", "reserve_slot", "find_slot"])
+        if op == "reserve":
+            got = new.reserve(engine, duration, earliest)
+            want = old.reserve(engine, duration, earliest)
+        elif op == "reserve_slot":
+            got = new.reserve_slot(engine, duration, earliest)
+            want = old.reserve_slot(engine, duration, earliest)
+        else:
+            got = new.find_slot(engine, duration, earliest)
+            want = old.find_slot(engine, duration, earliest)
+        assert got == want, (seed, step, op, engine, duration, earliest)
+    for engine in ENGINES:
+        assert new.available_at(engine) == old._available[engine]
+        placements = [(e.start, e.end) for e in new.entries(engine)]
+        assert placements == sorted(placements, key=lambda p: p[0])
+        assert sorted(placements) == sorted(old._entries[engine])
+
+
+def test_fifo_after_slot_insert_keeps_sorted_order():
+    """A FIFO reserve landing earlier than a late out-of-order slot entry
+    must be insorted, not appended — the exact case the guard covers."""
+    timeline = DeviceTimeline(0)
+    timeline.reserve_slot("ingress", 1.0, earliest_start=100.0)
+    start, end = timeline.reserve("ingress", 1.0, earliest_start=0.0)
+    assert (start, end) == (101.0, 102.0)  # FIFO: after available_at
+    timeline2 = DeviceTimeline(0)
+    timeline2.reserve("egress", 1.0, earliest_start=10.0)
+    timeline2.reserve_slot("egress", 2.0, earliest_start=0.0)
+    starts = [e.start for e in timeline2.entries("egress")]
+    assert starts == sorted(starts)
+    # The slot entry fills [0, 2); the next 1.0 gap opens right after it,
+    # before the FIFO entry at [10, 11) — found without any re-sort.
+    assert timeline2.find_slot("egress", 1.0, 0.0) == 2.0
