@@ -8,10 +8,12 @@ figure benchmarks over ``n`` worker processes (the default remains serial).
 from __future__ import annotations
 
 import json
+import logging
 import os
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.bench.report import print_figure
+from repro.util.logging import enable_console_logging, get_logger, log_event
 from repro.bench.sweep import (
     SweepPoint,
     best_per_scheme,
@@ -24,6 +26,8 @@ from repro.core.config import ExecutionConfig
 from repro.topology.machines import MachineSpec
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+_LOG = get_logger("bench")
 
 
 def sweep_jobs(default: Optional[int] = None) -> Optional[int]:
@@ -119,8 +123,9 @@ def check_snapshot_file(
         payload = json.load(handle)
     expected = {key_fn(record): record for record in payload["points"]}
     if len(actual) != len(expected):
-        print(f"point count drifted: snapshot has {len(expected)}, "
-              f"run produced {len(actual)}")
+        log_event(_LOG, "bench.snapshot.point_count_drift", label=label,
+                  level=logging.WARNING,
+                  snapshot=len(expected), run=len(actual))
         return max(1, abs(len(actual) - len(expected)))
 
     mismatches = 0
@@ -128,14 +133,17 @@ def check_snapshot_file(
     for record in actual:
         reference = expected.get(key_fn(record))
         if reference is None:
-            print(f"point missing from snapshot: {key_fn(record)}")
+            log_event(_LOG, "bench.snapshot.point_missing", label=label,
+                      level=logging.WARNING, point=key_fn(record))
             mismatches += 1
             continue
         if extra_mismatch is not None:
             message = extra_mismatch(record, reference)
             if message is not None:
                 mismatches += 1
-                print(f"{message} {key_fn(record)}")
+                log_event(_LOG, "bench.snapshot.mismatch", label=label,
+                          level=logging.WARNING,
+                          point=key_fn(record), detail=message)
                 continue
         want = reference["simulated_time"]
         got = record["simulated_time"]
@@ -143,8 +151,10 @@ def check_snapshot_file(
         worst = max(worst, drift)
         if drift > tolerance:
             mismatches += 1
-            print(f"DRIFT {key_fn(record)}: snapshot {want!r} vs simulated {got!r} "
-                  f"(relative {drift:.3e})")
+            log_event(_LOG, "bench.snapshot.drift", label=label,
+                      level=logging.WARNING,
+                      point=key_fn(record), snapshot=want, simulated=got,
+                      relative=f"{drift:.3e}")
     status = "OK" if mismatches == 0 else f"{mismatches} mismatches"
     print(f"{label}: {len(actual)} points, max relative drift {worst:.3e} — {status}")
     return mismatches
@@ -153,8 +163,14 @@ def check_snapshot_file(
 def snapshot_cli(description: str, default_snapshot: str,
                  write_fn: Callable[[str], str],
                  check_fn: Callable[[str], int], argv=None) -> int:
-    """The shared ``--write`` / ``--check`` / ``--snapshot`` entry point."""
+    """The shared ``--write`` / ``--check`` / ``--snapshot`` entry point.
+
+    Structured ``bench.*`` log records (drift details, snapshot mismatches)
+    are surfaced on stderr so a failing ``--check`` explains itself in CI.
+    """
     import argparse
+
+    enable_console_logging()
 
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument("--write", action="store_true",

@@ -9,9 +9,10 @@ Two checks, both offline and stdlib-only:
    in the target file (GitHub-style slugs).  External http(s) links are
    counted but not fetched (CI has no network guarantee).
 
-2. **Snippet smoke** — every fenced ``python`` code block in docs/serving.md
-   is extracted and executed *in order in one shared namespace*, so the
-   documented quickstart provably runs against the current code.
+2. **Snippet smoke** — every fenced ``python`` code block in the
+   executable docs (docs/serving.md, docs/observability.md) is extracted and
+   executed *in order in one shared namespace per file*, so the documented
+   quickstarts provably run against the current code.
 
 Usage:
     python scripts/check_docs.py
@@ -32,8 +33,9 @@ if os.path.isdir(SRC) and SRC not in sys.path:
 #: Files whose links are checked (docs/*.md are added dynamically).
 LINKED_FILES = ["README.md", "ROADMAP.md"]
 
-#: The documentation file whose python blocks must execute.
-EXECUTABLE_DOC = os.path.join("docs", "serving.md")
+#: Documentation files whose python blocks must execute.
+EXECUTABLE_DOCS = [os.path.join("docs", "serving.md"),
+                   os.path.join("docs", "observability.md")]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
@@ -168,7 +170,8 @@ def main() -> int:
     print(f"link check: {checked} local links verified across {len(files)} files "
           f"({external} external links not fetched)")
 
-    errors.extend(run_python_blocks(EXECUTABLE_DOC))
+    for doc in EXECUTABLE_DOCS:
+        errors.extend(run_python_blocks(doc))
     if errors:
         print("\nFAILURES:")
         for line in errors:

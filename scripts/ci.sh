@@ -25,6 +25,9 @@ echo "== example smoke: planner server (multi-process fleet) =="
 python examples/planner_server.py --workers 2 --family attention \
   --sizes 256 --requests 8
 
+echo "== example smoke: observe fleet (metrics + rollup + trace) =="
+python examples/observe_fleet.py --workers 2 --requests 8
+
 echo "== benchmark smoke: planner throughput (fast mode) =="
 python benchmarks/bench_planner_throughput.py --fast
 
@@ -40,7 +43,10 @@ python benchmarks/bench_event_engine_smoke.py --check
 echo "== benchmark smoke: sparse/MoE sweep drift check =="
 python benchmarks/bench_sparse_sweep.py --check
 
-echo "== docs: markdown link check + serving.md snippet smoke =="
+echo "== benchmark smoke: telemetry overhead bar (off free, on < 5%) =="
+python benchmarks/bench_telemetry_overhead.py --check
+
+echo "== docs: markdown link check + executable-doc snippet smoke =="
 python scripts/check_docs.py
 
 echo "== docs: docstring coverage gate (planner + serve >= 90%) =="

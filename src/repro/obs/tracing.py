@@ -1,0 +1,355 @@
+"""Lightweight request tracing: spans, context propagation, Chrome export.
+
+A *span* is one named, timed piece of work (a served request, a search
+phase); spans nest through a context-local "current span" so children find
+their parent automatically, and every span carries the *trace id* of the
+request that caused it.  The trace id doubles as the request id: the client
+stamps it into the wire protocol, the serving worker adopts it, and every
+span recorded on either side of the process boundary shares it — so one
+request's whole life renders as a single timeline.
+
+Cross-process flow::
+
+    client                      worker
+    ------                      ------
+    span("client.plan")   --->  remote_context(trace_id, parent)
+      trace_id=T, id=S            span("worker.plan")       (parent = S)
+                                    span("planner.plan")    (parent = worker)
+                                      span("search.simulate") ...
+                          <---  drained span dicts ride the response
+    tracer.absorb(spans)
+
+Completed traces export to the Chrome ``chrome://tracing`` / Perfetto JSON
+format (the same viewer :mod:`repro.sim.trace` targets for simulated
+schedules): one row per process, spans nested by start/duration, the trace
+id visible in every slice's args.
+
+A disabled tracer (:data:`NULL_TRACER`, or ``Tracer(enabled=False)``) hands
+out one shared no-op context manager, so tracing that is off costs a single
+attribute check plus a no-op ``with``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from time import perf_counter, time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Context-local (trace_id, span_id) of the innermost active span.  Shared by
+#: every tracer in the process: the ambient trace context is a property of
+#: the *request being served*, not of who observes it.
+_CURRENT: "ContextVar[Optional[Tuple[str, str]]]" = ContextVar(
+    "repro_current_span", default=None)
+
+#: Microseconds per second (Chrome trace timestamps are microseconds).
+_CHROME_SCALE = 1.0e6
+
+
+_ID_LOCK = threading.Lock()
+_ID_PREFIX = ""
+_ID_PID = -1
+_ID_COUNTER = itertools.count()
+
+
+def new_id() -> str:
+    """A fresh 16-hex-digit identifier (trace or span id).
+
+    Eight random hex digits identify the process (re-drawn after fork, so
+    pre-forked workers never collide) and an atomic counter supplies the
+    rest — about 10x cheaper than ``uuid4()``, which matters at two ids per
+    span on the per-candidate search hot path.
+    """
+    global _ID_PREFIX, _ID_PID, _ID_COUNTER
+    if _ID_PID != os.getpid():
+        with _ID_LOCK:
+            if _ID_PID != os.getpid():
+                _ID_PREFIX = format(int.from_bytes(os.urandom(4), "big"), "08x")
+                _ID_COUNTER = itertools.count()
+                _ID_PID = os.getpid()
+    return _ID_PREFIX + format(next(_ID_COUNTER) & 0xFFFFFFFF, "08x")
+
+
+def current_trace_id() -> Optional[str]:
+    """Trace id of the innermost active span, or ``None`` outside any span."""
+    current = _CURRENT.get()
+    return current[0] if current is not None else None
+
+
+def current_span_id() -> Optional[str]:
+    """Span id of the innermost active span, or ``None`` outside any span."""
+    current = _CURRENT.get()
+    return current[1] if current is not None else None
+
+
+@dataclass
+class SpanRecord:
+    """One completed span (what the tracer stores and exports)."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    #: Wall-clock start (``time.time()`` epoch seconds) — wall clock so spans
+    #: from different processes on the same host share a timeline.
+    start: float
+    #: Seconds of work (measured with ``perf_counter`` for resolution).
+    duration: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+    #: OS pid of the recording process (one Chrome-trace row per pid).
+    pid: int = 0
+    #: Human label for the recording process ("client", "worker-1", ...).
+    role: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (what rides the wire protocol)."""
+        return {
+            "name": self.name, "trace_id": self.trace_id,
+            "span_id": self.span_id, "parent_id": self.parent_id,
+            "start": self.start, "duration": self.duration,
+            "attributes": self.attributes, "pid": self.pid, "role": self.role,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SpanRecord":
+        """Rebuild a span from :meth:`to_dict` output (tolerant of extras)."""
+        parent = payload.get("parent_id")
+        return cls(
+            name=str(payload.get("name", "")),
+            trace_id=str(payload.get("trace_id", "")),
+            span_id=str(payload.get("span_id", "")),
+            parent_id=str(parent) if parent is not None else None,
+            start=float(payload.get("start", 0.0)),  # type: ignore[arg-type]
+            duration=float(payload.get("duration", 0.0)),  # type: ignore[arg-type]
+            attributes=dict(payload.get("attributes") or {}),  # type: ignore[arg-type]
+            pid=int(payload.get("pid", 0)),  # type: ignore[arg-type]
+            role=str(payload.get("role", "")),
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def set(self, **attributes: object) -> None:
+        """Discard the attributes."""
+
+
+#: The one instance every disabled ``span()`` call returns.
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager recording one span on ``__exit__`` (enabled path)."""
+
+    __slots__ = ("_tracer", "name", "attributes", "trace_id", "span_id",
+                 "parent_id", "_token", "_start_wall", "_start_perf")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
+
+    def set(self, **attributes: object) -> None:
+        """Attach/overwrite attributes on the span while it is open."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "_ActiveSpan":
+        current = _CURRENT.get()
+        if current is None:
+            self.trace_id = new_id()
+            self.parent_id = None
+        else:
+            self.trace_id, self.parent_id = current
+        self.span_id = new_id()
+        self._token = _CURRENT.set((self.trace_id, self.span_id))
+        self._start_wall = time()
+        self._start_perf = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        duration = perf_counter() - self._start_perf
+        _CURRENT.reset(self._token)
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        self._tracer._record(SpanRecord(
+            name=self.name, trace_id=self.trace_id, span_id=self.span_id,
+            parent_id=self.parent_id, start=self._start_wall,
+            duration=duration, attributes=self.attributes,
+            pid=os.getpid(), role=self._tracer.role,
+        ))
+        return False
+
+
+class Tracer:
+    """Records spans for this process; see module docs for the full flow.
+
+    Args:
+        enabled: a disabled tracer hands out :data:`NULL_SPAN` and records
+            nothing (the off-by-default-cheap contract).
+        role: label for this process's row in the exported timeline
+            (defaults to ``proc-<pid>``, resolved lazily so forked workers
+            label themselves, not their parent).
+        max_spans: retention cap; the oldest finished spans are dropped once
+            exceeded, so a long-lived tracer cannot grow without bound.
+    """
+
+    def __init__(self, enabled: bool = True, role: Optional[str] = None,
+                 max_spans: int = 100_000) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.enabled = enabled
+        self._role = role
+        self.max_spans = max_spans
+        self._finished: List[SpanRecord] = []
+        self._lock = threading.Lock()
+
+    @property
+    def role(self) -> str:
+        """This process's timeline label."""
+        return self._role if self._role is not None else f"proc-{os.getpid()}"
+
+    @role.setter
+    def role(self, value: Optional[str]) -> None:
+        self._role = value
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attributes: object):
+        """Open a child span of the ambient context (use as ``with``)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _ActiveSpan(self, name, attributes)
+
+    @contextmanager
+    def remote_context(self, trace_id: str,
+                       parent_span_id: Optional[str]) -> Iterator[None]:
+        """Adopt a trace context arriving from another process.
+
+        Spans opened inside the ``with`` block join trace ``trace_id`` and
+        parent under ``parent_span_id`` (the caller's span on the far side).
+        """
+        anchor = parent_span_id if parent_span_id is not None else ""
+        token = _CURRENT.set((trace_id, anchor))
+        try:
+            yield
+        finally:
+            _CURRENT.reset(token)
+
+    def _record(self, span: SpanRecord) -> None:
+        with self._lock:
+            self._finished.append(span)
+            overflow = len(self._finished) - self.max_spans
+            if overflow > 0:
+                del self._finished[:overflow]
+
+    def absorb(self, span_dicts: Sequence[Dict[str, object]]) -> int:
+        """Merge spans recorded by another process (wire-form dicts).
+
+        Returns how many spans were absorbed.  Works even on a disabled
+        tracer — absorbing a worker's spans is bookkeeping, not tracing.
+        """
+        records = [SpanRecord.from_dict(item) for item in span_dicts]
+        with self._lock:
+            self._finished.extend(records)
+            overflow = len(self._finished) - self.max_spans
+            if overflow > 0:
+                del self._finished[:overflow]
+        return len(records)
+
+    # ------------------------------------------------------------------ #
+    # retrieval / export
+    # ------------------------------------------------------------------ #
+    def spans(self, trace_id: Optional[str] = None) -> List[SpanRecord]:
+        """Finished spans (optionally only those of one trace), oldest first."""
+        with self._lock:
+            if trace_id is None:
+                return list(self._finished)
+            return [s for s in self._finished if s.trace_id == trace_id]
+
+    def drain(self, trace_id: Optional[str] = None) -> List[Dict[str, object]]:
+        """Remove and return finished spans as wire-form dicts.
+
+        With ``trace_id``, only that trace's spans are removed — the serving
+        worker drains exactly the request it just answered.
+        """
+        with self._lock:
+            if trace_id is None:
+                drained, self._finished = self._finished, []
+            else:
+                drained = [s for s in self._finished if s.trace_id == trace_id]
+                self._finished = [s for s in self._finished
+                                  if s.trace_id != trace_id]
+        return [s.to_dict() for s in drained]
+
+    def clear(self) -> None:
+        """Drop every finished span."""
+        with self._lock:
+            self._finished.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def chrome_trace(self, trace_id: Optional[str] = None) -> Dict[str, object]:
+        """Spans as a Chrome/Perfetto trace dict (one row per process).
+
+        Timestamps are normalized to the earliest span so the viewer opens
+        at t=0; each slice's args carry the trace id, span id, parent id,
+        and attributes, so a request id is searchable end to end.
+        """
+        spans = self.spans(trace_id)
+        origin = min((s.start for s in spans), default=0.0)
+        events: List[Dict[str, object]] = []
+        seen_processes: Dict[int, str] = {}
+        for span in spans:
+            if span.pid not in seen_processes:
+                seen_processes[span.pid] = span.role or f"proc-{span.pid}"
+                events.append({"ph": "M", "name": "process_name",
+                               "pid": span.pid, "tid": 0,
+                               "args": {"name": seen_processes[span.pid]}})
+            events.append({
+                "name": span.name,
+                "cat": "request",
+                "ph": "X",
+                "ts": (span.start - origin) * _CHROME_SCALE,
+                "dur": span.duration * _CHROME_SCALE,
+                "pid": span.pid,
+                "tid": span.role or f"proc-{span.pid}",
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **span.attributes,
+                },
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def dump_chrome_trace(self, path: str,
+                          trace_id: Optional[str] = None) -> str:
+        """Write :meth:`chrome_trace` JSON to ``path`` and return the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(trace_id), handle, indent=1)
+            handle.write("\n")
+        return path
+
+
+#: Process-wide disabled tracer (no spans, no cost).
+NULL_TRACER = Tracer(enabled=False)

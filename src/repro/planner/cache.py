@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional
 from repro.bench.schemes import scheme_by_name
 from repro.bench.selector import PartitioningRecommendation
 from repro.bench.workloads import Workload
+from repro.obs.metrics import NULL_REGISTRY
 
 #: Schema version of the persistent plan store.  Version 3 added per-entry
 #: creation timestamps (for TTL eviction across processes); version 2 added
@@ -145,6 +146,8 @@ class CacheStats:
     max_bytes: Optional[int] = None
     #: The configured per-entry time-to-live (``None`` means entries never expire).
     ttl_seconds: Optional[float] = None
+    #: Age in seconds of the oldest resident entry (``None`` when empty).
+    oldest_age_seconds: Optional[float] = None
 
     @property
     def hit_rate(self) -> float:
@@ -192,6 +195,18 @@ class PlanCache:
     ``clock`` is injectable for tests; it must return seconds as a float and
     defaults to :func:`time.time` (wall clock, so TTLs survive the on-disk
     round trip across processes).
+
+    When **traffic weights** are supplied (:meth:`set_traffic_weights` — the
+    per-signature request counts a telemetry rollup produces), eviction stops
+    being pure LRU: the victim is the entry with the *lowest observed
+    traffic*, ties broken least-recently-used.  A hot-but-old signature then
+    outlives a cold-but-recent one under byte pressure.  With no weights set
+    the behavior is exactly the historical LRU, bit for bit.
+
+    ``metrics`` optionally wires the counters onto a
+    :class:`~repro.obs.metrics.MetricsRegistry` (hits/misses/puts/evictions/
+    expirations counters plus resident entry/byte gauges); left unset, the
+    no-op registry keeps the hot path free.
     """
 
     def __init__(
@@ -201,6 +216,7 @@ class PlanCache:
         max_bytes: Optional[int] = None,
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.time,
+        metrics=None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -220,6 +236,25 @@ class PlanCache:
         self._puts = 0
         self._evictions = 0
         self._expirations = 0
+        self._weights: Optional[Dict[str, float]] = None
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_lookups_hit = registry.counter(
+            "repro_plan_cache_lookups_total", "Plan-cache lookups by result.",
+            result="hit")
+        self._m_lookups_miss = registry.counter(
+            "repro_plan_cache_lookups_total", "Plan-cache lookups by result.",
+            result="miss")
+        self._m_puts = registry.counter(
+            "repro_plan_cache_puts_total", "Plan-cache inserts.")
+        self._m_evictions = registry.counter(
+            "repro_plan_cache_evictions_total",
+            "Entries evicted by capacity/byte pressure.")
+        self._m_expirations = registry.counter(
+            "repro_plan_cache_expirations_total", "Entries dropped by TTL.")
+        self._m_entries = registry.gauge(
+            "repro_plan_cache_entries", "Resident plan-cache entries.")
+        self._m_bytes = registry.gauge(
+            "repro_plan_cache_bytes", "Serialized bytes of resident entries.")
 
     # ------------------------------------------------------------------ #
     # lookup / insert
@@ -231,28 +266,74 @@ class PlanCache:
         slot = self._entries.pop(key)
         self._total_bytes -= slot.size_bytes
 
+    def _sync_gauges(self) -> None:
+        self._m_entries.set(float(len(self._entries)))
+        self._m_bytes.set(float(self._total_bytes))
+
     def get(self, key: str) -> Optional[PlanEntry]:
         """Return the entry for ``key`` (refreshing its recency) or ``None``.
 
         An entry whose TTL has elapsed is dropped and reported as a miss —
         the caller re-plans exactly as it would for a key never seen.
         """
+        found = self.get_with_age(key)
+        return found[0] if found is not None else None
+
+    def get_with_age(self, key: str) -> Optional[tuple]:
+        """Like :meth:`get`, but returns ``(entry, age_seconds)`` on a hit.
+
+        The age is measured from the entry's insertion (or its persisted
+        ``created_at`` after a store round trip) — the "plan age" that
+        serving telemetry reports per request.
+        """
         with self._lock:
             slot = self._entries.get(key)
             if slot is None:
                 self._misses += 1
+                self._m_lookups_miss.inc()
                 return None
-            if self._expired(slot, self._clock()):
+            now = self._clock()
+            if self._expired(slot, now):
                 self._drop(key)
                 self._expirations += 1
                 self._misses += 1
+                self._m_expirations.inc()
+                self._m_lookups_miss.inc()
+                self._sync_gauges()
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
-            return slot.entry
+            self._m_lookups_hit.inc()
+            return (slot.entry, max(0.0, now - slot.created_at))
+
+    def _victim(self, protect: str) -> str:
+        """Pick the next eviction victim (caller holds the lock).
+
+        Without traffic weights: the LRU entry, exactly as always.  With
+        weights: the lowest-traffic entry, ties broken LRU; the just-inserted
+        ``protect`` key is spared while any other entry remains, so an insert
+        is always admitted.
+        """
+        if self._weights is None:
+            return next(iter(self._entries))
+        best_key: Optional[str] = None
+        best_rank: Optional[tuple] = None
+        for position, key in enumerate(self._entries):
+            if key == protect and len(self._entries) > 1:
+                continue
+            rank = (self._weights.get(key, 0.0), position)
+            if best_rank is None or rank < best_rank:
+                best_key = key
+                best_rank = rank
+        assert best_key is not None
+        return best_key
 
     def put(self, key: str, entry: PlanEntry, *, created_at: Optional[float] = None) -> None:
-        """Insert/refresh an entry, evicting least-recently-used beyond the bounds.
+        """Insert/refresh an entry, evicting beyond the bounds.
+
+        Victims are least-recently-used, unless traffic weights are set
+        (:meth:`set_traffic_weights`), in which case the lowest-traffic
+        entry goes first.
 
         Args:
             key: the signature key the entry is cached under.
@@ -269,14 +350,32 @@ class PlanCache:
                                        size)
             self._total_bytes += size
             self._puts += 1
+            self._m_puts.inc()
             while len(self._entries) > self.capacity or (
                 self.max_bytes is not None
                 and self._total_bytes > self.max_bytes
                 and len(self._entries) > 1
             ):
-                evicted_key = next(iter(self._entries))
-                self._drop(evicted_key)
+                self._drop(self._victim(key))
                 self._evictions += 1
+                self._m_evictions.inc()
+            self._sync_gauges()
+
+    def set_traffic_weights(self, weights: Optional[Dict[str, float]]) -> None:
+        """Install per-signature traffic weights guiding eviction.
+
+        ``weights`` maps signature keys to observed request counts (see
+        :meth:`repro.obs.rollup.Rollup.traffic_weights`); keys absent from the
+        map weigh 0.0 (coldest).  Passing ``None`` restores pure LRU.
+        """
+        with self._lock:
+            self._weights = dict(weights) if weights is not None else None
+
+    @property
+    def traffic_weights(self) -> Optional[Dict[str, float]]:
+        """The installed eviction weights (``None`` when eviction is pure LRU)."""
+        with self._lock:
+            return dict(self._weights) if self._weights is not None else None
 
     def prune_expired(self) -> int:
         """Eagerly drop every expired entry; returns how many were dropped.
@@ -290,7 +389,9 @@ class PlanCache:
             stale = [key for key, slot in self._entries.items() if self._expired(slot, now)]
             for key in stale:
                 self._drop(key)
+                self._m_expirations.inc()
             self._expirations += len(stale)
+            self._sync_gauges()
             return len(stale)
 
     def __len__(self) -> int:
@@ -316,15 +417,29 @@ class PlanCache:
         with self._lock:
             self._entries.clear()
             self._total_bytes = 0
+            self._sync_gauges()
+
+    def entry_ages(self) -> Dict[str, float]:
+        """Age in seconds of every resident entry (no recency/counter effects)."""
+        with self._lock:
+            now = self._clock()
+            return {key: max(0.0, now - slot.created_at)
+                    for key, slot in self._entries.items()}
 
     def stats(self) -> CacheStats:
         """Snapshot of the hit/miss/eviction/expiration counters and bounds."""
         with self._lock:
+            oldest: Optional[float] = None
+            if self._entries:
+                now = self._clock()
+                oldest = max(max(0.0, now - slot.created_at)
+                             for slot in self._entries.values())
             return CacheStats(hits=self._hits, misses=self._misses, puts=self._puts,
                               evictions=self._evictions, expirations=self._expirations,
                               size=len(self._entries), capacity=self.capacity,
                               total_bytes=self._total_bytes, max_bytes=self.max_bytes,
-                              ttl_seconds=self.ttl_seconds)
+                              ttl_seconds=self.ttl_seconds,
+                              oldest_age_seconds=oldest)
 
     # ------------------------------------------------------------------ #
     # persistence

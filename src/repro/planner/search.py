@@ -38,6 +38,7 @@ from repro.core.slicing import apply_iteration_offset, generate_all_ops
 from repro.core.stationary import parse_stationary
 from repro.core.structure import prune_structured_ops, resolve_structure
 from repro.dist.matrix import DistributedMatrix
+from repro.obs.tracing import NULL_TRACER
 from repro.runtime.runtime import Runtime
 from repro.sim.batch import BatchEvaluator
 from repro.topology.machines import MachineSpec
@@ -241,6 +242,7 @@ def search_partitionings(
     prune: bool = True,
     bound: str = BOUND_CRITICAL_PATH,
     use_batch: bool = True,
+    tracer=None,
 ) -> Tuple[List[PartitioningRecommendation], SearchStats]:
     """Search the design space; returns (ranked recommendations, search stats).
 
@@ -273,7 +275,13 @@ def search_partitionings(
     ``use_batch=False`` keeps the scalar path for verification.  The batch
     evaluator requires direct-mode ``simulate_only`` configs and is bypassed
     automatically otherwise.
+
+    ``tracer`` (a :class:`repro.obs.tracing.Tracer`) opens child spans for the
+    search phases — the eager frontier pricing plus every refinement and
+    simulation — so a traced request shows where its planning time went.
+    ``None`` (the default) uses the disabled tracer, which records nothing.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     if memory_budget_bytes is None:
         memory_budget_bytes = machine.memory_capacity
     schemes = list(schemes) if schemes is not None else ua_schemes()
@@ -309,20 +317,21 @@ def search_partitionings(
         # refined to the tight (expensive) one.  Heap order is (bound, index),
         # so ties fall back to enumeration order, deterministically.
         needs_refinement = bound == BOUND_CRITICAL_PATH
-        if evaluator is not None:
-            eager = evaluator.frontier_occupancy_bounds(candidates)
-            heap = [
-                (eager[i], candidate.index, not needs_refinement)
-                for i, candidate in enumerate(candidates)
-            ]
-        else:
-            heap = [
-                (candidate_lower_bound(machine, workload, candidate,
-                                       config, BOUND_OCCUPANCY),
-                 candidate.index, not needs_refinement)
-                for candidate in candidates
-            ]
-        heapq.heapify(heap)
+        with tracer.span("search.bound", candidates=len(candidates)):
+            if evaluator is not None:
+                eager = evaluator.frontier_occupancy_bounds(candidates)
+                heap = [
+                    (eager[i], candidate.index, not needs_refinement)
+                    for i, candidate in enumerate(candidates)
+                ]
+            else:
+                heap = [
+                    (candidate_lower_bound(machine, workload, candidate,
+                                           config, BOUND_OCCUPANCY),
+                     candidate.index, not needs_refinement)
+                    for candidate in candidates
+                ]
+            heapq.heapify(heap)
         elapsed = time.perf_counter() - started
         opgen_eager = evaluator.opgen_seconds if evaluator is not None else 0.0
         stats.opgen_seconds = opgen_eager
@@ -348,21 +357,23 @@ def search_partitionings(
         candidate = by_index[index]
         if prune and not refined:
             refine_started = time.perf_counter()
-            if evaluator is not None:
-                tight = evaluator.critical_bound(candidate)
-            else:
-                tight = candidate_lower_bound(machine, workload, candidate,
-                                              config, BOUND_CRITICAL_PATH)
+            with tracer.span("search.refine", candidate=index):
+                if evaluator is not None:
+                    tight = evaluator.critical_bound(candidate)
+                else:
+                    tight = candidate_lower_bound(machine, workload, candidate,
+                                                  config, BOUND_CRITICAL_PATH)
             stats.num_refined += 1
             refine_seconds += time.perf_counter() - refine_started
             heapq.heappush(heap, (tight, index, True))
             continue
-        if evaluator is not None:
-            point = evaluator.simulate(candidate)
-        else:
-            point = run_ua_point(machine, workload, candidate.scheme,
-                                 candidate.replication, candidate.stationary,
-                                 config)
+        with tracer.span("search.simulate", candidate=index):
+            if evaluator is not None:
+                point = evaluator.simulate(candidate)
+            else:
+                point = run_ua_point(machine, workload, candidate.scheme,
+                                     candidate.replication, candidate.stationary,
+                                     config)
         stats.num_simulated += 1
         results.append(
             (

@@ -15,7 +15,14 @@ but production-shaped:
 * **warm-startable** — a JSON plan store persists the cache across
   processes (load at boot, save on demand or automatically per new plan);
 * **observable** — serving counters (requests, hits, coalesced waits,
-  simulations, pruning) are aggregated across the service's lifetime.
+  simulations, pruning) are aggregated across the service's lifetime, and a
+  service constructed with a metrics registry / tracer / request log
+  (:mod:`repro.obs`) publishes per-request telemetry: outcome counters and
+  latency histograms, one span tree per request, one log line per request;
+* **adaptive** — :meth:`~PlannerService.apply_rollup` feeds compacted
+  telemetry back into serving (traffic-weighted cache eviction), and
+  :meth:`~PlannerService.refresh_candidates` names the hot signatures a
+  background refresher should re-plan first.
 
 ``plan_many()`` fans a batch of requests over a thread pool, which both
 exercises and benefits from single-flight dedup when the batch repeats
@@ -24,17 +31,22 @@ signatures.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.schemes import PartitioningScheme
 from repro.bench.selector import PartitioningRecommendation
 from repro.bench.workloads import Workload
 from repro.core.config import ExecutionConfig
 from repro.core.cost_model import CostModel
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, NULL_REGISTRY
+from repro.obs.reqlog import RequestRecord
+from repro.obs.rollup import Rollup
+from repro.obs.tracing import NULL_TRACER, current_trace_id
 from repro.planner.cache import PlanCache, PlanEntry
 from repro.planner.search import SearchStats, search_partitionings
 from repro.planner.signature import (
@@ -59,6 +71,9 @@ class PlanResponse:
     coalesced: bool
     #: Wall-clock seconds this request spent being answered.
     planning_time: float
+    #: Age in seconds of the served plan at serve time (0.0 for plans
+    #: computed by — or coalesced onto — this very request).
+    plan_age: float = 0.0
     #: Search bookkeeping; ``None`` for cache hits and coalesced waits.
     search_stats: Optional[SearchStats] = None
 
@@ -79,6 +94,9 @@ class ServiceStats:
     candidates_simulated: int = 0
     candidates_pruned: int = 0
     total_planning_time: float = 0.0
+    #: Slowest single request observed (an extreme, not a sum — fleet
+    #: aggregation must take the max of per-worker values).
+    max_planning_time: float = 0.0
     warm_start_entries: int = 0
 
     @property
@@ -96,6 +114,76 @@ class _InFlight:
         self.event = threading.Event()
         self.entry: Optional[PlanEntry] = None
         self.error: Optional[BaseException] = None
+
+
+class _Telemetry:
+    """Observability sink for one service (constructed only when enabled).
+
+    Bundles the metrics instruments, the tracer, and the request log so the
+    serving path pays exactly one ``is None`` check when observability is
+    off, and holds pre-created instruments so the enabled path never pays a
+    registry lookup per request.
+    """
+
+    __slots__ = ("registry", "tracer", "request_log", "worker_index",
+                 "_requests", "_latency", "_phase")
+
+    _OUTCOMES = ("hit", "computed", "coalesced")
+    _PHASES = ("opgen", "bound", "refine", "simulate")
+
+    def __init__(self, metrics, tracer, request_log, worker_index: int) -> None:
+        self.registry = metrics if metrics is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.request_log = request_log
+        self.worker_index = worker_index
+        self._requests = {
+            outcome: self.registry.counter(
+                "repro_planner_requests_total",
+                "Planning requests served, by outcome.", outcome=outcome)
+            for outcome in self._OUTCOMES
+        }
+        self._latency = {
+            outcome: self.registry.histogram(
+                "repro_planner_latency_seconds",
+                "End-to-end planning latency in seconds, by outcome.",
+                buckets=DEFAULT_LATENCY_BUCKETS, outcome=outcome)
+            for outcome in self._OUTCOMES
+        }
+        self._phase = {
+            phase: self.registry.counter(
+                "repro_search_phase_seconds_total",
+                "Cumulative seconds spent per search phase.", phase=phase)
+            for phase in self._PHASES
+        }
+
+    def record(self, response: "PlanResponse", workload_name: str) -> None:
+        """Publish one served request to every enabled backend."""
+        outcome = ("hit" if response.cache_hit
+                   else "coalesced" if response.coalesced else "computed")
+        self._requests[outcome].inc()
+        self._latency[outcome].observe(response.planning_time)
+        phases: Dict[str, float] = {}
+        stats = response.search_stats
+        if stats is not None:
+            phases = {"opgen": stats.opgen_seconds,
+                      "bound": stats.bound_seconds,
+                      "refine": stats.refine_seconds,
+                      "simulate": stats.simulate_seconds}
+            for phase, seconds in phases.items():
+                self._phase[phase].inc(seconds)
+        if self.request_log is not None:
+            self.request_log.append(RequestRecord(
+                ts=time.time(),
+                signature=response.signature.key(),
+                workload=workload_name,
+                outcome=outcome,
+                plan_age=response.plan_age,
+                latency=response.planning_time,
+                phases=phases,
+                worker=self.worker_index,
+                pid=os.getpid(),
+                trace_id=current_trace_id(),
+            ))
 
 
 class PlannerService:
@@ -121,6 +209,10 @@ class PlannerService:
         store_path: Optional[str] = None,
         autosave: bool = False,
         max_workers: int = 4,
+        metrics=None,
+        tracer=None,
+        request_log=None,
+        worker_index: int = -1,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -138,9 +230,18 @@ class PlannerService:
         self.prune = prune
         self.config = config or ExecutionConfig(simulate_only=True)
         self.cache = PlanCache(cache_capacity, max_bytes=cache_max_bytes,
-                               ttl_seconds=cache_ttl_seconds)
+                               ttl_seconds=cache_ttl_seconds, metrics=metrics)
         self.store_path = store_path
         self.autosave = autosave
+        # One sink object when ANY observability backend is enabled; None
+        # otherwise, so the serving path's disabled cost is a single check.
+        self._telemetry: Optional[_Telemetry] = None
+        if metrics is not None or tracer is not None or request_log is not None:
+            self._telemetry = _Telemetry(metrics, tracer, request_log,
+                                         worker_index)
+        self._tracer = (self._telemetry.tracer if self._telemetry is not None
+                        else NULL_TRACER)
+        self._rollup: Optional[Rollup] = None
         self._max_workers = max_workers
         self._pool: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
@@ -210,7 +311,27 @@ class PlannerService:
     # serving
     # ------------------------------------------------------------------ #
     def plan(self, workload: Workload, *, top_k: Optional[int] = None) -> PlanResponse:
-        """Serve one planning request (cache -> single-flight -> search)."""
+        """Serve one planning request (cache -> single-flight -> search).
+
+        With observability enabled the request runs inside a
+        ``planner.plan`` span (joining any ambient trace context, e.g. the
+        serving worker's) and is recorded to the metrics registry and the
+        request log on completion.
+        """
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self._plan(workload, top_k=top_k)
+        with telemetry.tracer.span("planner.plan",
+                                   workload=workload.name) as span:
+            response = self._plan(workload, top_k=top_k)
+            span.set(signature=response.signature.key(),
+                     outcome=("hit" if response.cache_hit else
+                              "coalesced" if response.coalesced
+                              else "computed"))
+            telemetry.record(response, workload.name)
+        return response
+
+    def _plan(self, workload: Workload, *, top_k: Optional[int] = None) -> PlanResponse:
         started = time.perf_counter()
         effective_k = self.top_k if top_k is None else top_k
         signature = self.signature_for(workload, effective_k)
@@ -220,22 +341,25 @@ class PlannerService:
         flight: Optional[_InFlight] = None
         with self._lock:
             self._stats.requests += 1
-            entry = self.cache.get(key)
-            if entry is None:
+            found = self.cache.get_with_age(key)
+            if found is None:
                 flight = self._inflight.get(key)
                 if flight is None:
                     flight = _InFlight()
                     self._inflight[key] = flight
                     leader = True
-        if entry is not None:
+        if found is not None:
+            entry, plan_age = found
             elapsed = time.perf_counter() - started
             with self._lock:
                 self._stats.cache_hits += 1
                 self._stats.total_planning_time += elapsed
+                if elapsed > self._stats.max_planning_time:
+                    self._stats.max_planning_time = elapsed
             return PlanResponse(signature=signature,
                                 recommendations=list(entry.recommendations),
                                 cache_hit=True, coalesced=False,
-                                planning_time=elapsed)
+                                planning_time=elapsed, plan_age=plan_age)
 
         assert flight is not None
         if not leader:
@@ -244,6 +368,8 @@ class PlannerService:
             with self._lock:
                 self._stats.coalesced_requests += 1
                 self._stats.total_planning_time += elapsed
+                if elapsed > self._stats.max_planning_time:
+                    self._stats.max_planning_time = elapsed
             if flight.error is not None:
                 raise flight.error
             assert flight.entry is not None
@@ -270,6 +396,7 @@ class PlannerService:
                 itemsize=self.itemsize,
                 config=self.config,
                 prune=self.prune,
+                tracer=self._tracer,
             )
             entry = PlanEntry(recommendations=recommendations,
                               workload=planning_workload,
@@ -295,6 +422,8 @@ class PlannerService:
             self._stats.candidates_simulated += search_stats.num_simulated
             self._stats.candidates_pruned += search_stats.num_pruned
             self._stats.total_planning_time += elapsed
+            if elapsed > self._stats.max_planning_time:
+                self._stats.max_planning_time = elapsed
         return PlanResponse(signature=signature,
                             recommendations=list(entry.recommendations),
                             cache_hit=False, coalesced=False,
@@ -326,6 +455,49 @@ class PlannerService:
         """Snapshot of the lifetime serving counters."""
         with self._lock:
             return replace(self._stats)
+
+    # ------------------------------------------------------------------ #
+    # telemetry feedback (adaptive planning)
+    # ------------------------------------------------------------------ #
+    def apply_rollup(self, rollup: Optional[Rollup]) -> None:
+        """Feed compacted serving telemetry back into this service.
+
+        Installs the rollup's per-signature traffic as the plan cache's
+        eviction weights (hot signatures outlive cold ones under pressure)
+        and retains it for :meth:`refresh_candidates`.  ``None`` clears both,
+        restoring pure-LRU eviction.
+        """
+        with self._lock:
+            self._rollup = rollup
+        self.cache.set_traffic_weights(
+            rollup.traffic_weights() if rollup is not None else None)
+
+    def refresh_candidates(
+        self, top_n: int = 5, *, min_age_seconds: float = 0.0,
+    ) -> List[Tuple[str, int, Optional[float]]]:
+        """The hottest signatures whose cached plan is stale or absent.
+
+        Walks the applied rollup's signatures in descending traffic order and
+        returns up to ``top_n`` tuples ``(signature_key, requests,
+        age_seconds)`` whose resident plan is at least ``min_age_seconds``
+        old — or missing entirely (``age_seconds`` is ``None``).  This is
+        the work list a background refresher should re-plan first: recomputing
+        these *before* TTL expiry keeps the hottest traffic on warm plans.
+        Empty until :meth:`apply_rollup` has been called.
+        """
+        with self._lock:
+            rollup = self._rollup
+        if rollup is None:
+            return []
+        ages = self.cache.entry_ages()
+        candidates: List[Tuple[str, int, Optional[float]]] = []
+        for aggregate in rollup.top(len(rollup.signatures), by="requests"):
+            age = ages.get(aggregate.signature)
+            if age is None or age >= min_age_seconds:
+                candidates.append((aggregate.signature, aggregate.requests, age))
+            if len(candidates) >= top_n:
+                break
+        return candidates
 
     def cache_stats(self):
         """Snapshot of the underlying plan cache's counters."""

@@ -17,12 +17,14 @@ the plan-store eviction knobs long-lived workers should set.
 from repro.serve.client import PlanClient, RemotePlanError
 from repro.serve.protocol import (
     MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
     FrameDecoder,
     ProtocolError,
     RemotePlanResponse,
     encode_frame,
     error_response,
     ok_response,
+    metrics_request,
     ping_request,
     plan_request,
     plan_response_payload,
@@ -36,12 +38,14 @@ from repro.serve.stats import ServerStats, WorkerStats, aggregate_service_stats
 
 __all__ = [
     "MAX_MESSAGE_BYTES",
+    "PROTOCOL_VERSION",
     "FrameDecoder",
     "ProtocolError",
     "RemotePlanResponse",
     "encode_frame",
     "error_response",
     "ok_response",
+    "metrics_request",
     "ping_request",
     "plan_request",
     "plan_response_payload",

@@ -21,6 +21,7 @@ import time
 from typing import Dict, Optional, Tuple, Union
 
 from repro.bench.workloads import Workload
+from repro.obs.tracing import current_span_id, current_trace_id
 from repro.serve import protocol
 from repro.serve.protocol import RemotePlanResponse
 from repro.serve.stats import WorkerStats
@@ -53,6 +54,11 @@ class PlanClient:
             fresh connection.
         retry_delay: base back-off between retries, doubled per attempt.
         timeout: per-operation socket timeout in seconds.
+        tracer: a :class:`~repro.obs.tracing.Tracer`; when given (and
+            enabled), every :meth:`plan` runs inside a ``client.plan`` span
+            whose trace id is stamped into the wire request, and the
+            answering worker's spans are absorbed back — one request, one
+            cross-process timeline.  ``None`` (default) disables tracing.
 
     Use as a context manager, or call :meth:`close` when done.
     """
@@ -65,6 +71,7 @@ class PlanClient:
         retries: int = 2,
         retry_delay: float = 0.05,
         timeout: float = 30.0,
+        tracer=None,
     ) -> None:
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
@@ -81,6 +88,7 @@ class PlanClient:
         self._lock = threading.Lock()
         self._closed = False
         self._transport_retries = 0
+        self._tracer = tracer
 
     # ------------------------------------------------------------------ #
     # connections
@@ -184,6 +192,11 @@ class PlanClient:
     def plan(self, workload: Workload, *, top_k: Optional[int] = None) -> RemotePlanResponse:
         """Request a plan for ``workload`` (ranked recommendations).
 
+        With a tracer configured, the request runs inside a ``client.plan``
+        span whose context rides the wire; the worker's spans come back in
+        the response and are absorbed into this client's tracer, so
+        ``tracer.chrome_trace(trace_id)`` renders the whole request.
+
         Args:
             workload: the problem to partition (structure travels along).
             top_k: how many ranked plans to return (server default if None).
@@ -191,12 +204,37 @@ class PlanClient:
         Returns:
             The served plan plus which worker answered.
         """
-        result = self._request(protocol.plan_request(workload, top_k))
-        return RemotePlanResponse.from_dict(result)
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled:
+            result = self._request(protocol.plan_request(workload, top_k))
+            return RemotePlanResponse.from_dict(result)
+        with tracer.span("client.plan", workload=workload.name) as span:
+            trace = {"trace_id": current_trace_id(),
+                     "parent_span_id": current_span_id()}
+            result = self._request(
+                protocol.plan_request(workload, top_k, trace=trace))
+            response = RemotePlanResponse.from_dict(result)
+            span.set(worker=response.worker,
+                     outcome=("hit" if response.cache_hit else
+                              "coalesced" if response.coalesced
+                              else "computed"))
+            if response.spans:
+                tracer.absorb(response.spans)
+        return response
 
     def ping(self) -> Dict[str, object]:
-        """Liveness probe; returns the owning worker's ``{"worker", "pid"}``."""
+        """Liveness probe; returns the owning worker's ``{"worker", "pid"}``
+        (plus its ``protocol`` version on 1.1+ servers)."""
         return self._request(protocol.ping_request())
+
+    def metrics(self) -> Dict[str, object]:
+        """Metrics snapshot of the single worker owning this connection.
+
+        Fleet-merged snapshots live server-side
+        (:meth:`repro.serve.server.PlanServer.aggregate_metrics`); this op
+        exists so any client can scrape a worker through the public socket.
+        """
+        return self._request(protocol.metrics_request())
 
     def worker_stats(self) -> WorkerStats:
         """Counters of the single worker owning this request's connection.

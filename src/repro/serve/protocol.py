@@ -14,13 +14,28 @@ non-blocking event loops (:class:`FrameDecoder`).
 
 Requests are objects with an ``"op"`` discriminator:
 
-* ``{"op": "plan", "workload": <Workload.to_dict()>, "top_k": <int|null>}``
-* ``{"op": "ping"}`` — identify the worker owning this connection
+* ``{"op": "plan", "workload": <Workload.to_dict()>, "top_k": <int|null>}`` —
+  optionally carrying ``"trace": {"trace_id", "parent_span_id"}``, the
+  client's tracing context; a tracing-enabled worker adopts it and returns
+  its recorded spans in the response payload (``"spans"``), so one request
+  renders as a single cross-process timeline
+* ``{"op": "ping"}`` — identify the worker owning this connection (the reply
+  carries the worker's :data:`PROTOCOL_VERSION`)
 * ``{"op": "stats"}`` — that worker's serving/cache counters
+* ``{"op": "metrics"}`` — that worker's metrics-registry snapshot
+  (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`; empty when the fleet
+  runs with metrics disabled)
 
 Responses are ``{"ok": true, "result": ...}`` on success or
 ``{"ok": false, "error": {"type": ..., "message": ...}}`` on failure; the
 client re-raises failures as :class:`~repro.serve.client.RemotePlanError`.
+
+Versioning: new request fields are optional and new response fields default
+cleanly, so minor versions interoperate both ways — an old client simply
+never sends ``trace`` and ignores ``plan_age``/``spans``; an old server
+ignores unknown request keys.  :data:`PROTOCOL_VERSION` names the dialect a
+build speaks (minor bumps are additive; a major bump would break framing or
+required fields).
 
 Frames larger than :data:`MAX_MESSAGE_BYTES` are rejected on both send and
 receive — a corrupt length header must fail fast, not allocate gigabytes.
@@ -33,13 +48,19 @@ import select
 import socket
 import struct
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.bench.selector import PartitioningRecommendation
 from repro.bench.workloads import Workload
 from repro.planner.cache import recommendation_from_dict, recommendation_to_dict
 from repro.planner.service import PlanResponse
+
+#: The protocol dialect this build speaks, as ``(major, minor)``.  1.0 was
+#: the original plan/ping/stats protocol; 1.1 added the optional ``trace``
+#: request field, the ``metrics`` op, and the ``plan_age``/``trace_id``/
+#: ``spans`` response fields (all additive — 1.0 and 1.1 peers interoperate).
+PROTOCOL_VERSION = (1, 1)
 
 #: Frame header: one network-order unsigned 32-bit payload length.
 HEADER = struct.Struct("!I")
@@ -194,9 +215,22 @@ class FrameDecoder:
 # ---------------------------------------------------------------------- #
 # request / response constructors
 # ---------------------------------------------------------------------- #
-def plan_request(workload: Workload, top_k: Optional[int] = None) -> Dict[str, object]:
-    """Build the ``plan`` request for one workload (structure included)."""
-    return {"op": "plan", "workload": workload.to_dict(), "top_k": top_k}
+def plan_request(workload: Workload, top_k: Optional[int] = None,
+                 trace: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Build the ``plan`` request for one workload (structure included).
+
+    Args:
+        workload: the problem to partition.
+        top_k: ranked plans wanted (``None``: server default).
+        trace: optional tracing context to propagate —
+            ``{"trace_id": ..., "parent_span_id": ...}`` (omitted from the
+            wire when ``None``, keeping 1.0-compatible frames byte-identical).
+    """
+    message: Dict[str, object] = {"op": "plan", "workload": workload.to_dict(),
+                                  "top_k": top_k}
+    if trace is not None:
+        message["trace"] = trace
+    return message
 
 
 def ping_request() -> Dict[str, object]:
@@ -207,6 +241,11 @@ def ping_request() -> Dict[str, object]:
 def stats_request() -> Dict[str, object]:
     """Build the ``stats`` request (the owning worker's counters)."""
     return {"op": "stats"}
+
+
+def metrics_request() -> Dict[str, object]:
+    """Build the ``metrics`` request (the owning worker's registry snapshot)."""
+    return {"op": "metrics"}
 
 
 def ok_response(result: object) -> Dict[str, object]:
@@ -242,6 +281,14 @@ class RemotePlanResponse:
     num_pruned: int
     worker: int
     pid: int
+    #: Age in seconds of the served plan at serve time (0.0 when computed;
+    #: protocol 1.1, defaults for 1.0 servers).
+    plan_age: float = 0.0
+    #: Trace id the worker served under (``None`` when tracing was off).
+    trace_id: Optional[str] = None
+    #: Wire-form span dicts the worker recorded for this request (protocol
+    #: 1.1; the client absorbs them into its own tracer).
+    spans: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def recommendation(self) -> PartitioningRecommendation:
@@ -251,6 +298,7 @@ class RemotePlanResponse:
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "RemotePlanResponse":
         """Rebuild from the wire form produced by :func:`plan_response_payload`."""
+        trace_id = payload.get("trace_id")
         return cls(
             recommendations=[recommendation_from_dict(item)
                              for item in payload["recommendations"]],  # type: ignore[union-attr]
@@ -262,19 +310,28 @@ class RemotePlanResponse:
             num_pruned=int(payload.get("num_pruned", 0)),  # type: ignore[arg-type]
             worker=int(payload.get("worker", -1)),  # type: ignore[arg-type]
             pid=int(payload.get("pid", 0)),  # type: ignore[arg-type]
+            plan_age=float(payload.get("plan_age", 0.0)),  # type: ignore[arg-type]
+            trace_id=str(trace_id) if trace_id is not None else None,
+            spans=list(payload.get("spans") or []),  # type: ignore[arg-type]
         )
 
 
-def plan_response_payload(response: PlanResponse, worker: int, pid: int) -> Dict[str, object]:
+def plan_response_payload(response: PlanResponse, worker: int, pid: int,
+                          trace_id: Optional[str] = None,
+                          spans: Optional[List[Dict[str, object]]] = None,
+                          ) -> Dict[str, object]:
     """Wire form of one :class:`~repro.planner.service.PlanResponse`.
 
     Args:
         response: the in-process service's answer.
         worker: index of the worker that computed/served it.
         pid: that worker's OS process id.
+        trace_id: the trace the worker served under, when tracing was on.
+        spans: the worker's recorded spans for this request (wire-form
+            dicts); omitted from the payload when ``None``.
     """
     stats = response.search_stats
-    return {
+    payload: Dict[str, object] = {
         "recommendations": [recommendation_to_dict(r) for r in response.recommendations],
         "signature_key": response.signature.key(),
         "cache_hit": response.cache_hit,
@@ -284,4 +341,10 @@ def plan_response_payload(response: PlanResponse, worker: int, pid: int) -> Dict
         "num_pruned": stats.num_pruned if stats is not None else 0,
         "worker": worker,
         "pid": pid,
+        "plan_age": response.plan_age,
     }
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    if spans is not None:
+        payload["spans"] = spans
+    return payload

@@ -47,10 +47,16 @@ from multiprocessing import reduction
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.workloads import Workload
+from repro.obs.metrics import MetricsRegistry, empty_snapshot, merge_snapshots
+from repro.obs.reqlog import RequestLog
+from repro.obs.tracing import Tracer
 from repro.planner.service import PlannerService
 from repro.serve import protocol
 from repro.serve.stats import ServerStats, WorkerStats
 from repro.topology.machines import MachineSpec
+from repro.util.logging import get_logger, log_event
+
+_LOG = get_logger("serve.server")
 
 #: Accepted address forms: ``None`` (auto Unix socket), a Unix socket path,
 #: or a ``(host, port)`` TCP endpoint (``port=0`` auto-assigns).
@@ -147,6 +153,18 @@ class PlanServer:
         service_options: keyword arguments forwarded verbatim to each
             worker's :class:`~repro.planner.service.PlannerService`
             (replication factors, cache bounds, store path, ...).
+        enable_metrics: give each worker a live
+            :class:`~repro.obs.metrics.MetricsRegistry`; per-worker snapshots
+            are scrapeable via the ``metrics`` op and fleet-mergeable via
+            :meth:`aggregate_metrics`.  Off by default (no measurable cost).
+        enable_tracing: give each worker a
+            :class:`~repro.obs.tracing.Tracer` (role ``worker-<i>``); traced
+            ``plan`` requests adopt the client's context and return their
+            spans in the response.  Off by default.
+        reqlog_dir: directory for the serving telemetry log; each worker
+            appends to its own ``requests-<i>.jsonl`` there (shared-nothing:
+            one writer per file).  ``None`` (default) disables request
+            logging.
 
     Use as a context manager or call :meth:`start` / :meth:`stop` explicitly.
     """
@@ -159,6 +177,9 @@ class PlanServer:
         address: Address = None,
         backlog: int = 128,
         service_options: Optional[Dict[str, object]] = None,
+        enable_metrics: bool = False,
+        enable_tracing: bool = False,
+        reqlog_dir: Optional[str] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -166,6 +187,9 @@ class PlanServer:
         self.num_workers = num_workers
         self.backlog = backlog
         self.service_options = dict(service_options or {})
+        self.enable_metrics = enable_metrics
+        self.enable_tracing = enable_tracing
+        self.reqlog_dir = reqlog_dir
         self._requested_address = address
         #: The resolved listening endpoint (set by :meth:`start`): the Unix
         #: socket path, or the bound ``(host, port)`` tuple.
@@ -208,6 +232,9 @@ class PlanServer:
                 target=_worker_main,
                 args=(index, child_pipe, unwanted, self._listener,
                       self.machine, self.service_options),
+                kwargs={"enable_metrics": self.enable_metrics,
+                        "enable_tracing": self.enable_tracing,
+                        "reqlog_dir": self.reqlog_dir},
                 daemon=True,
                 name=f"plan-worker-{index}",
             )
@@ -398,6 +425,48 @@ class PlanServer:
                 continue
         return ServerStats.from_workers(snapshots)
 
+    def aggregate_metrics(self, timeout: float = 10.0) -> Dict[str, object]:
+        """Collect and merge every live worker's metrics-registry snapshot.
+
+        Same control-pipe round-trip discipline as :meth:`aggregate_stats`;
+        per-worker snapshots merge by summation
+        (:func:`repro.obs.metrics.merge_snapshots`), so counters and
+        histograms read as fleet totals.  A fleet started without
+        ``enable_metrics`` returns an empty snapshot.
+
+        Args:
+            timeout: per-worker ceiling on waiting for the reply, seconds.
+
+        Returns:
+            One merged snapshot dict (render with
+            :func:`repro.obs.metrics.render_prometheus`).
+        """
+        if not self._started:
+            raise RuntimeError("PlanServer not started")
+        snapshots: List[Dict[str, object]] = []
+        for handle in self._workers:
+            if handle.dead or not handle.process.is_alive():
+                continue
+            with self._stats_seq_lock:
+                self._stats_seq += 1
+                seq = self._stats_seq
+            try:
+                with handle.stats_lock:
+                    with handle.lock:
+                        handle.pipe.send(("metrics", seq))
+                    deadline = time.monotonic() + timeout
+                    while True:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not handle.pipe.poll(remaining):
+                            break
+                        message = handle.pipe.recv()
+                        if message[0] == "metrics" and message[1] == seq:
+                            snapshots.append(message[2])
+                            break
+            except (OSError, EOFError, ValueError):
+                continue
+        return merge_snapshots(snapshots)
+
 
 # ---------------------------------------------------------------------- #
 # worker process
@@ -445,7 +514,11 @@ class _Connection:
 
 def _worker_main(index: int, ctrl, unwanted, listener,
                  machine: MachineSpec,
-                 service_options: Dict[str, object]) -> None:
+                 service_options: Dict[str, object],
+                 *,
+                 enable_metrics: bool = False,
+                 enable_tracing: bool = False,
+                 reqlog_dir: Optional[str] = None) -> None:
     """Entry point of one forked worker (runs until told to shut down).
 
     Args:
@@ -457,6 +530,10 @@ def _worker_main(index: int, ctrl, unwanted, listener,
             accept.
         machine: the machine plans are computed for.
         service_options: forwarded to this worker's PlannerService.
+        enable_metrics: build a live per-worker metrics registry.
+        enable_tracing: build a per-worker tracer (role ``worker-<index>``).
+        reqlog_dir: when set, append served requests to
+            ``<reqlog_dir>/requests-<index>.jsonl``.
     """
     for conn in unwanted:
         try:
@@ -467,7 +544,16 @@ def _worker_main(index: int, ctrl, unwanted, listener,
         listener.close()
     except OSError:  # pragma: no cover - close is best-effort
         pass
-    service = PlannerService(machine, **service_options)  # type: ignore[arg-type]
+    metrics = MetricsRegistry() if enable_metrics else None
+    tracer = Tracer(role=f"worker-{index}") if enable_tracing else None
+    request_log = (RequestLog(os.path.join(reqlog_dir, f"requests-{index}.jsonl"))
+                   if reqlog_dir is not None else None)
+    service = PlannerService(machine, metrics=metrics, tracer=tracer,
+                             request_log=request_log, worker_index=index,
+                             **service_options)  # type: ignore[arg-type]
+    log_event(_LOG, "serve.worker.start", worker=index, pid=os.getpid(),
+              metrics=enable_metrics, tracing=enable_tracing,
+              reqlog=reqlog_dir or "")
     selector = selectors.DefaultSelector()
     selector.register(ctrl, selectors.EVENT_READ, data="ctrl")
     connections: Dict[int, _Connection] = {}
@@ -490,6 +576,8 @@ def _worker_main(index: int, ctrl, unwanted, listener,
             close_connection(fd)
             return
         if len(conn.outbuf) > MAX_CONNECTION_BACKLOG_BYTES:
+            log_event(_LOG, "serve.connection.backlog_closed", worker=index,
+                      buffered=len(conn.outbuf))
             close_connection(fd)  # hoarding client: answers piling up unread
             return
         selector.modify(conn.sock, conn.events(), data="client")
@@ -499,7 +587,7 @@ def _worker_main(index: int, ctrl, unwanted, listener,
             for key, events in selector.select(timeout=1.0):
                 if key.data == "ctrl":
                     running = _drain_control(index, ctrl, service, selector,
-                                             connections)
+                                             connections, metrics=metrics)
                     continue
                 sock = key.fileobj
                 assert isinstance(sock, socket.socket)
@@ -529,7 +617,8 @@ def _worker_main(index: int, ctrl, unwanted, listener,
                     close_connection(fd)
                     continue
                 for message in messages:
-                    response = _dispatch(index, service, message)
+                    response = _dispatch(index, service, message,
+                                         tracer=tracer, metrics=metrics)
                     try:
                         conn.outbuf.extend(protocol.encode_frame(response))
                     except protocol.ProtocolError:  # pragma: no cover - oversized
@@ -542,6 +631,9 @@ def _worker_main(index: int, ctrl, unwanted, listener,
             close_connection(fd)
         selector.close()
         service.close()
+        if request_log is not None:
+            request_log.close()
+        log_event(_LOG, "serve.worker.stop", worker=index, pid=os.getpid())
         try:
             ctrl.close()
         except OSError:
@@ -551,6 +643,7 @@ def _worker_main(index: int, ctrl, unwanted, listener,
 def _drain_control(index: int, ctrl, service: PlannerService,
                    selector: selectors.BaseSelector,
                    connections: Dict[int, _Connection],
+                   metrics: Optional[MetricsRegistry] = None,
                    ) -> bool:
     """Handle every pending parent command; returns False on shutdown."""
     while True:
@@ -581,6 +674,13 @@ def _drain_control(index: int, ctrl, service: PlannerService,
                            _worker_snapshot(index, service).to_dict()))
             except (OSError, ValueError):
                 return False
+        elif op == "metrics":
+            try:
+                ctrl.send(("metrics", message[1],
+                           metrics.snapshot() if metrics is not None
+                           else empty_snapshot()))
+            except (OSError, ValueError):
+                return False
         elif op == "shutdown":
             return False
 
@@ -592,8 +692,15 @@ def _worker_snapshot(index: int, service: PlannerService) -> WorkerStats:
 
 
 def _dispatch(index: int, service: PlannerService,
-              message: Dict[str, object]) -> Dict[str, object]:
+              message: Dict[str, object],
+              tracer: Optional[Tracer] = None,
+              metrics: Optional[MetricsRegistry] = None) -> Dict[str, object]:
     """Answer one decoded request; failures become error responses.
+
+    A ``plan`` request carrying a ``trace`` context on a tracing-enabled
+    worker runs inside an adopted remote context under a ``worker.plan``
+    span, and the spans recorded for that trace ride back in the payload
+    (drained, so the worker's tracer does not accumulate exported spans).
 
     Only :class:`Exception` is converted — ``KeyboardInterrupt`` /
     ``SystemExit`` propagate so an interrupted worker exits instead of
@@ -603,15 +710,30 @@ def _dispatch(index: int, service: PlannerService,
         op = message.get("op")
         if op == "plan":
             workload = Workload.from_dict(message["workload"])  # type: ignore[arg-type]
-            top_k = message.get("top_k")
-            response = service.plan(workload,
-                                    top_k=None if top_k is None else int(top_k))  # type: ignore[arg-type]
+            raw_k = message.get("top_k")
+            top_k = None if raw_k is None else int(raw_k)  # type: ignore[arg-type]
+            trace = message.get("trace")
+            if tracer is not None and isinstance(trace, dict):
+                trace_id = str(trace.get("trace_id") or "")
+                parent = trace.get("parent_span_id")
+                with tracer.remote_context(
+                        trace_id, str(parent) if parent is not None else None):
+                    with tracer.span("worker.plan", worker=index):
+                        response = service.plan(workload, top_k=top_k)
+                return protocol.ok_response(protocol.plan_response_payload(
+                    response, index, os.getpid(), trace_id=trace_id,
+                    spans=tracer.drain(trace_id)))
+            response = service.plan(workload, top_k=top_k)
             return protocol.ok_response(
                 protocol.plan_response_payload(response, index, os.getpid()))
         if op == "ping":
-            return protocol.ok_response({"worker": index, "pid": os.getpid()})
+            return protocol.ok_response({"worker": index, "pid": os.getpid(),
+                                         "protocol": list(protocol.PROTOCOL_VERSION)})
         if op == "stats":
             return protocol.ok_response(_worker_snapshot(index, service).to_dict())
+        if op == "metrics":
+            return protocol.ok_response(metrics.snapshot() if metrics is not None
+                                        else empty_snapshot())
         raise ValueError(f"unknown op: {op!r}")
     except Exception as error:  # noqa: BLE001 - every failure must answer
         return protocol.error_response(error)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.planner.cache import CacheStats
 from repro.planner.service import ServiceStats
@@ -58,21 +58,34 @@ class WorkerStats:
         )
 
 
+#: ServiceStats fields that are extremes, not sums — aggregating them by
+#: addition would fabricate a latency no single worker ever observed.
+_MAX_FIELDS = frozenset({"max_planning_time"})
+
+
 def aggregate_service_stats(parts: Sequence[ServiceStats]) -> ServiceStats:
-    """Sum serving counters across workers (every field is additive).
+    """Combine serving counters across workers.
+
+    Additive counters (requests, hits, planning time totals...) sum;
+    extremes (``max_planning_time``) take the max, so the fleet view
+    preserves the slowest single request any worker actually served.
 
     Args:
         parts: per-worker :class:`ServiceStats` snapshots.
 
     Returns:
-        One :class:`ServiceStats` whose counters are the fleet totals (the
-        derived ``hit_rate`` property then reads as the fleet-wide rate).
+        One :class:`ServiceStats` holding the fleet totals (the derived
+        ``hit_rate`` property then reads as the fleet-wide rate).
     """
     total = ServiceStats()
     for part in parts:
         for field in dataclasses.fields(ServiceStats):
-            setattr(total, field.name,
-                    getattr(total, field.name) + getattr(part, field.name))
+            if field.name in _MAX_FIELDS:
+                setattr(total, field.name,
+                        max(getattr(total, field.name), getattr(part, field.name)))
+            else:
+                setattr(total, field.name,
+                        getattr(total, field.name) + getattr(part, field.name))
     return total
 
 
@@ -104,6 +117,19 @@ class ServerStats:
     def workers_with_requests(self) -> int:
         """How many workers served at least one request."""
         return sum(1 for w in self.workers if w.service.requests > 0)
+
+    @property
+    def max_planning_time(self) -> float:
+        """Slowest single request any worker served (a fleet extreme)."""
+        return self.totals.max_planning_time
+
+    @property
+    def oldest_plan_age(self) -> Optional[float]:
+        """Age of the oldest plan resident on any worker (``None`` when all
+        caches are empty or predate age reporting)."""
+        ages = [w.cache.oldest_age_seconds for w in self.workers
+                if w.cache.oldest_age_seconds is not None]
+        return max(ages) if ages else None
 
     def describe(self) -> str:
         """Human-readable multi-line summary (one row per worker + totals)."""

@@ -28,7 +28,7 @@ from repro.util.validation import (
     ReplicationError,
 )
 from repro.util.rng import make_rng, random_matrix
-from repro.util.logging import get_logger
+from repro.util.logging import format_kv, get_logger, log_event
 
 __all__ = [
     "Interval",
@@ -49,5 +49,7 @@ __all__ = [
     "ReplicationError",
     "make_rng",
     "random_matrix",
+    "format_kv",
     "get_logger",
+    "log_event",
 ]

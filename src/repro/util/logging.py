@@ -3,12 +3,20 @@
 Every subsystem obtains its logger through :func:`get_logger` so the whole
 library shares one namespace (``repro.*``) and can be silenced or redirected
 by downstream applications with a single call.
+
+Log records are **structured**: :func:`log_event` renders an event name plus
+``key=value`` fields (:func:`format_kv`), and when a tracing span is active
+(:mod:`repro.obs.tracing`) the record automatically carries the request's
+``trace`` id — so a log line grep and a trace-viewer search meet on the same
+identifier.
 """
 
 from __future__ import annotations
 
 import logging
 from typing import Optional
+
+from repro.obs.tracing import current_trace_id
 
 _ROOT_NAME = "repro"
 _configured = False
@@ -33,6 +41,39 @@ def get_logger(name: Optional[str] = None) -> logging.Logger:
     if name.startswith(_ROOT_NAME + "."):
         return logging.getLogger(name)
     return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def format_kv(**fields: object) -> str:
+    """Render fields as sorted ``key=value`` pairs (values with spaces repr'd)."""
+    parts = []
+    for key in sorted(fields):
+        value = fields[key]
+        if isinstance(value, float):
+            text = f"{value:.6g}"
+        else:
+            text = str(value)
+        if " " in text or text == "":
+            text = repr(text)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def log_event(logger: logging.Logger, event: str, *,
+              level: int = logging.INFO, **fields: object) -> None:
+    """Emit one structured record: ``event key=value ...``.
+
+    When a tracing span is active, the record automatically gains a
+    ``trace=<id>`` field so logs and exported traces cross-reference.  The
+    formatting work is skipped entirely when ``level`` is not enabled for
+    ``logger`` — structured logging on a silenced logger costs one check.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    trace_id = current_trace_id()
+    if trace_id is not None:
+        fields.setdefault("trace", trace_id)
+    body = format_kv(**fields)
+    logger.log(level, "%s %s" % (event, body) if body else event)
 
 
 def enable_console_logging(level: int = logging.INFO) -> None:

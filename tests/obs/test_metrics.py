@@ -1,0 +1,190 @@
+"""Unit tests for the metrics registry: instruments, merging, Prometheus export."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    empty_snapshot,
+    instrument_name,
+    merge_snapshots,
+    render_prometheus,
+    split_instrument_name,
+)
+
+
+class TestInstrumentNames:
+    def test_bare_name_without_labels(self):
+        assert instrument_name("repro_requests_total", {}) == "repro_requests_total"
+
+    def test_labels_render_sorted(self):
+        full = instrument_name("m", {"b": "2", "a": "1"})
+        assert full == 'm{a="1",b="2"}'
+
+    def test_split_roundtrip(self):
+        full = instrument_name("m", {"outcome": "hit"})
+        assert split_instrument_name(full) == ("m", 'outcome="hit"')
+        assert split_instrument_name("plain") == ("plain", "")
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_gauge_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value == pytest.approx(7.0)
+
+    def test_histogram_bins_and_overflow(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 100.0):
+            hist.observe(value)
+        state = hist.state()
+        assert state["buckets"] == [1.0, 10.0]
+        assert state["counts"] == [1, 1, 1]  # <=1, <=10, +Inf
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(105.5)
+
+    def test_histogram_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+    def test_same_name_and_labels_memoized(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", outcome="hit")
+        b = registry.counter("c", outcome="hit")
+        c = registry.counter("c", outcome="miss")
+        assert a is b
+        assert a is not c
+
+    def test_default_latency_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestSnapshot:
+    def test_snapshot_layout(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", help="requests").inc(4)
+        registry.gauge("g").set(2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c_total": 4.0}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+        assert snap["help"]["c_total"] == "requests"
+
+    def test_null_registry_costs_nothing(self):
+        assert NULL_REGISTRY.enabled is False
+        assert NULL_REGISTRY.counter("c") is NULL_INSTRUMENT
+        NULL_REGISTRY.counter("c").inc()
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == empty_snapshot()
+
+    def test_concurrent_updates_are_not_lost(self):
+        """inc/observe racing snapshot() must neither crash nor drop counts."""
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        hist = registry.histogram("h", buckets=(0.5,))
+        snapshots = []
+
+        def writer():
+            for _ in range(500):
+                counter.inc()
+                hist.observe(0.1)
+
+        def reader():
+            for _ in range(50):
+                snapshots.append(registry.snapshot())
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads.append(threading.Thread(target=reader))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 2000.0
+        assert hist.count == 2000
+        # Snapshots taken mid-flight are internally consistent.
+        for snap in snapshots:
+            state = snap["histograms"].get("h")
+            if state is not None:
+                assert sum(state["counts"]) == state["count"]
+
+
+class TestMerge:
+    def _worker_snapshot(self, requests, observations):
+        registry = MetricsRegistry()
+        registry.counter("req_total", outcome="hit").inc(requests)
+        registry.gauge("entries").set(requests)
+        hist = registry.histogram("lat", buckets=(1.0, 10.0))
+        for value in observations:
+            hist.observe(value)
+        return registry.snapshot()
+
+    def test_merge_sums_everything(self):
+        merged = merge_snapshots([
+            self._worker_snapshot(3, [0.5, 5.0]),
+            self._worker_snapshot(7, [20.0]),
+        ])
+        assert merged["counters"]['req_total{outcome="hit"}'] == 10.0
+        assert merged["gauges"]["entries"] == 10.0
+        hist = merged["histograms"]["lat"]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(25.5)
+
+    def test_merge_of_empty_is_empty(self):
+        assert merge_snapshots([]) == empty_snapshot()
+        assert merge_snapshots([empty_snapshot(), empty_snapshot()]) == empty_snapshot()
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+class TestPrometheus:
+    def test_renders_headers_and_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", help="served requests", outcome="hit").inc(5)
+        registry.counter("req_total", outcome="miss").inc(2)
+        registry.gauge("entries").set(3)
+        text = render_prometheus(registry.snapshot())
+        assert "# HELP req_total served requests" in text
+        assert "# TYPE req_total counter" in text
+        assert text.count("# TYPE req_total counter") == 1  # one header per base
+        assert 'req_total{outcome="hit"} 5' in text
+        assert 'req_total{outcome="miss"} 2' in text
+        assert "# TYPE entries gauge" in text
+        assert "entries 3" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 0.6, 5.0, 50.0):
+            hist.observe(value)
+        text = render_prometheus(registry.snapshot())
+        assert 'lat_bucket{le="1.0"} 2' in text
+        assert 'lat_bucket{le="10.0"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_sum" in text
+        assert "lat_count 4" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(empty_snapshot()) == ""

@@ -1,0 +1,181 @@
+"""Unit tests for span recording, context propagation, and Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SpanRecord,
+    Tracer,
+    current_span_id,
+    current_trace_id,
+    new_id,
+)
+
+
+class TestSpans:
+    def test_root_span_gets_fresh_trace_id(self):
+        tracer = Tracer(role="test")
+        with tracer.span("root"):
+            assert current_trace_id() is not None
+            assert current_span_id() is not None
+        assert current_trace_id() is None
+        (span,) = tracer.spans()
+        assert span.name == "root"
+        assert span.parent_id is None
+        assert span.duration >= 0.0
+        assert span.role == "test"
+
+    def test_children_nest_under_the_ambient_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            outer_id = current_span_id()
+            with tracer.span("inner"):
+                assert current_span_id() != outer_id
+            assert current_span_id() == outer_id
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner"].trace_id == spans["outer"].trace_id
+
+    def test_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("work", workload="mlp1") as span:
+            span.set(outcome="hit")
+        (record,) = tracer.spans()
+        assert record.attributes == {"workload": "mlp1", "outcome": "hit"}
+
+    def test_exception_marks_the_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        (record,) = tracer.spans()
+        assert record.attributes["error"] == "RuntimeError"
+        assert current_trace_id() is None  # context restored despite the raise
+
+    def test_disabled_tracer_hands_out_the_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything")
+        assert span is NULL_SPAN
+        with span as entered:
+            entered.set(ignored=True)
+        assert len(tracer) == 0
+        assert NULL_TRACER.span("x") is NULL_SPAN
+
+    def test_retention_cap_drops_oldest(self):
+        tracer = Tracer(max_spans=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_new_ids_are_distinct_hex(self):
+        a, b = new_id(), new_id()
+        assert a != b
+        assert len(a) == 16
+        int(a, 16)  # parses as hex
+
+
+class TestRemoteContext:
+    def test_adopted_context_parents_spans_across_the_boundary(self):
+        client = Tracer(role="client")
+        worker = Tracer(role="worker-0")
+        with client.span("client.plan"):
+            trace_id = current_trace_id()
+            parent = current_span_id()
+        with worker.remote_context(trace_id, parent):
+            with worker.span("worker.plan"):
+                pass
+        (worker_span,) = worker.spans()
+        assert worker_span.trace_id == trace_id
+        assert worker_span.parent_id == parent
+
+    def test_context_restored_after_adoption(self):
+        tracer = Tracer()
+        with tracer.remote_context("t" * 16, "p" * 16):
+            assert current_trace_id() == "t" * 16
+        assert current_trace_id() is None
+
+    def test_drain_removes_only_the_requested_trace(self):
+        tracer = Tracer()
+        with tracer.remote_context("trace-a", None):
+            with tracer.span("a"):
+                pass
+        with tracer.remote_context("trace-b", None):
+            with tracer.span("b"):
+                pass
+        drained = tracer.drain("trace-a")
+        assert [d["name"] for d in drained] == ["a"]
+        assert [s.name for s in tracer.spans()] == ["b"]
+
+    def test_absorb_roundtrips_wire_dicts(self):
+        """Drained worker spans absorbed client-side reproduce the records."""
+        worker = Tracer(role="worker-1")
+        with worker.remote_context("shared-trace", "parent-span"):
+            with worker.span("worker.plan", worker=1):
+                pass
+        wire = worker.drain("shared-trace")
+        json.dumps(wire)  # must be JSON-serializable as-is
+
+        client = Tracer(role="client")
+        assert client.absorb(wire) == 1
+        (span,) = client.spans("shared-trace")
+        assert span.name == "worker.plan"
+        assert span.role == "worker-1"
+        assert span.parent_id == "parent-span"
+
+    def test_absorb_works_on_a_disabled_tracer(self):
+        collector = Tracer(enabled=False)
+        record = SpanRecord(name="s", trace_id="t", span_id="i",
+                            parent_id=None, start=1.0, duration=0.5)
+        assert collector.absorb([record.to_dict()]) == 1
+        assert len(collector) == 1
+
+
+class TestChromeExport:
+    def _two_process_trace(self):
+        client = Tracer(role="client")
+        with client.span("client.plan"):
+            trace_id = current_trace_id()
+            parent = current_span_id()
+        worker = Tracer(role="worker-0")
+        with worker.remote_context(trace_id, parent):
+            with worker.span("worker.plan"):
+                pass
+        client.absorb(worker.drain(trace_id))
+        return client, trace_id
+
+    def test_chrome_trace_format(self):
+        client, trace_id = self._two_process_trace()
+        trace = client.chrome_trace(trace_id)
+        events = trace["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in slices} == {"client.plan", "worker.plan"}
+        # Every slice carries the request id; timestamps are normalized.
+        assert all(e["args"]["trace_id"] == trace_id for e in slices)
+        assert min(e["ts"] for e in slices) == pytest.approx(0.0)
+        # One process_name metadata row per pid observed.
+        assert {e["name"] for e in metadata} == {"process_name"}
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_dump_chrome_trace_writes_loadable_json(self, tmp_path):
+        client, trace_id = self._two_process_trace()
+        path = str(tmp_path / "trace.json")
+        assert client.dump_chrome_trace(path, trace_id) == path
+        payload = json.load(open(path))
+        assert len([e for e in payload["traceEvents"] if e["ph"] == "X"]) == 2
+
+    def test_clear_drops_everything(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.chrome_trace()["traceEvents"] == []

@@ -406,6 +406,89 @@ class TestStoreV3:
         assert small.keys() == ["k3", "k4"]  # the two most recent survive
 
 
+class TestTrafficWeightedEviction:
+    """Rollup weights steer eviction; without them the cache is pure LRU."""
+
+    def _pressured_cache(self, clock=None):
+        from repro.planner.cache import entry_size_bytes
+
+        size = entry_size_bytes(make_entry())
+        return PlanCache(capacity=100, max_bytes=3 * size,
+                         clock=clock or FakeClock())
+
+    def test_hot_but_old_outlives_cold_but_recent_under_byte_pressure(self):
+        clock = FakeClock()
+        cache = self._pressured_cache(clock)
+        cache.put("hot", make_entry())   # oldest — pure LRU would evict it
+        clock.advance(100)
+        cache.put("cold1", make_entry())
+        clock.advance(1)
+        cache.put("cold2", make_entry())
+        cache.set_traffic_weights({"hot": 40.0, "cold2": 2.0})
+        clock.advance(1)
+        cache.put("new", make_entry())   # byte budget forces one eviction
+        assert "hot" in cache            # heavy traffic spared the LRU head
+        assert "cold1" not in cache      # unweighted (0.0) went instead
+        assert "cold2" in cache and "new" in cache
+        assert cache.entry_ages()["hot"] == pytest.approx(102.0)
+
+    def test_without_weights_the_same_sequence_is_pure_lru(self):
+        cache = self._pressured_cache()
+        for key in ("hot", "cold1", "cold2"):
+            cache.put(key, make_entry())
+        cache.put("new", make_entry())
+        assert "hot" not in cache        # LRU head goes first, as always
+        assert all(key in cache for key in ("cold1", "cold2", "new"))
+
+    def test_ties_break_lru_and_weights_clear_back_to_lru(self):
+        cache = self._pressured_cache()
+        for key in ("a", "b", "c"):
+            cache.put(key, make_entry())
+        cache.set_traffic_weights({"a": 5.0, "b": 5.0, "c": 5.0})
+        cache.put("d", make_entry())
+        assert "a" not in cache          # equal weights: oldest goes
+        cache.set_traffic_weights(None)
+        assert cache.traffic_weights is None
+        cache.put("e", make_entry())
+        assert "b" not in cache          # pure LRU restored
+
+    def test_fresh_insert_is_always_admitted(self):
+        cache = self._pressured_cache()
+        for key in ("a", "b", "c"):
+            cache.put(key, make_entry())
+        # The new key is the coldest by weight, yet must not evict itself.
+        cache.set_traffic_weights({"a": 9.0, "b": 9.0, "c": 9.0})
+        cache.put("new", make_entry())
+        assert "new" in cache
+        assert "a" not in cache
+
+    def test_weights_install_copies(self):
+        cache = PlanCache(capacity=4)
+        weights = {"k": 1.0}
+        cache.set_traffic_weights(weights)
+        weights["k"] = 99.0
+        assert cache.traffic_weights == {"k": 1.0}
+
+    def test_cache_metrics_track_traffic(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = PlanCache(capacity=2, metrics=registry)
+        cache.put("k1", make_entry())
+        cache.get("k1")
+        cache.get("nope")
+        cache.put("k2", make_entry())
+        cache.put("k3", make_entry())  # evicts k1
+        snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters['repro_plan_cache_lookups_total{result="hit"}'] == 1.0
+        assert counters['repro_plan_cache_lookups_total{result="miss"}'] == 1.0
+        assert counters["repro_plan_cache_puts_total"] == 3.0
+        assert counters["repro_plan_cache_evictions_total"] == 1.0
+        assert snap["gauges"]["repro_plan_cache_entries"] == 2.0
+        assert snap["gauges"]["repro_plan_cache_bytes"] > 0.0
+
+
 class TestServiceBounds:
     def test_service_passes_bounds_through(self):
         from repro.planner.service import PlannerService

@@ -1,0 +1,149 @@
+"""In-process PlannerService telemetry: metrics, spans, request log, rollup."""
+
+import os
+
+import pytest
+
+from repro.bench.workloads import Workload
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.reqlog import RequestLog, iter_records
+from repro.obs.rollup import rollup_requests
+from repro.obs.tracing import Tracer
+from repro.planner import PlannerService
+from repro.topology.machines import uniform_system
+
+MACHINE = uniform_system(2)
+SERVICE_OPTIONS = {"replication_factors": [1]}
+
+
+def make_workload(m=96, n=80, k=64):
+    return Workload(f"w{m}x{n}x{k}", m, n, k)
+
+
+@pytest.fixture()
+def telemetry(tmp_path):
+    registry = MetricsRegistry()
+    tracer = Tracer(role="svc-test")
+    log = RequestLog(str(tmp_path / "requests.jsonl"))
+    with PlannerService(MACHINE, metrics=registry, tracer=tracer,
+                        request_log=log, **SERVICE_OPTIONS) as service:
+        yield service, registry, tracer, log
+    log.close()
+
+
+class TestServiceMetrics:
+    def test_outcome_counters_and_latency_histograms(self, telemetry):
+        service, registry, _, _ = telemetry
+        workload = make_workload()
+        cold = service.plan(workload)
+        warm = service.plan(workload)
+        assert not cold.cache_hit and warm.cache_hit
+        counters = registry.snapshot()["counters"]
+        assert counters['repro_planner_requests_total{outcome="computed"}'] == 1.0
+        assert counters['repro_planner_requests_total{outcome="hit"}'] == 1.0
+        histograms = registry.snapshot()["histograms"]
+        assert histograms['repro_planner_latency_seconds{outcome="computed"}']["count"] == 1
+        assert histograms['repro_planner_latency_seconds{outcome="hit"}']["count"] == 1
+        # Computed plans bill their search phases onto the phase counters.
+        phase_seconds = {
+            name: value for name, value in counters.items()
+            if name.startswith("repro_search_phase_seconds_total")}
+        assert phase_seconds['repro_search_phase_seconds_total{phase="simulate"}'] > 0.0
+
+    def test_results_identical_with_and_without_telemetry(self, telemetry):
+        service, _, _, _ = telemetry
+        workload = make_workload(112, 64, 48)
+        with PlannerService(MACHINE, **SERVICE_OPTIONS) as plain:
+            reference = plain.plan(workload)
+        traced = service.plan(workload)
+        assert traced.recommendation.plan_key() == reference.recommendation.plan_key()
+        assert traced.recommendation.simulated_time == \
+            reference.recommendation.simulated_time
+
+    def test_max_planning_time_tracks_the_slowest_request(self, telemetry):
+        service, _, _, _ = telemetry
+        service.plan(make_workload())
+        stats = service.stats()
+        assert stats.max_planning_time > 0.0
+        assert stats.max_planning_time >= stats.total_planning_time / max(
+            stats.plans_computed, 1) * 0.99
+
+
+class TestServiceTracing:
+    def test_computed_request_opens_search_phase_spans(self, telemetry):
+        service, _, tracer, _ = telemetry
+        service.plan(make_workload())
+        spans = tracer.spans()
+        names = {s.name for s in spans}
+        assert {"planner.plan", "search.bound", "search.simulate"} <= names
+        by_name = {s.name: s for s in spans}
+        root = by_name["planner.plan"]
+        assert root.parent_id is None
+        assert root.attributes["outcome"] == "computed"
+        # Search phases are children within the same trace.
+        for name in names - {"planner.plan"}:
+            assert by_name[name].trace_id == root.trace_id
+        assert by_name["search.bound"].parent_id == root.span_id
+
+    def test_cache_hit_is_a_single_span(self, telemetry):
+        service, _, tracer, _ = telemetry
+        workload = make_workload(104, 72, 56)
+        service.plan(workload)
+        tracer.clear()
+        response = service.plan(workload)
+        assert response.cache_hit
+        (span,) = tracer.spans()
+        assert span.name == "planner.plan"
+        assert span.attributes["outcome"] == "hit"
+
+
+class TestServiceRequestLog:
+    def test_every_request_becomes_one_line(self, telemetry, tmp_path):
+        service, _, _, log = telemetry
+        workload = make_workload()
+        service.plan(workload)
+        service.plan(workload)
+        records = list(iter_records(log.path))
+        assert [r.outcome for r in records] == ["computed", "hit"]
+        signature = service.signature_for(workload).key()
+        assert all(r.signature == signature for r in records)
+        assert all(r.pid == os.getpid() for r in records)
+        assert records[0].phases  # computed requests carry the phase split
+        assert not records[1].phases
+        assert records[0].plan_age == 0.0
+        assert records[1].plan_age >= 0.0
+        assert all(r.trace_id for r in records)  # tracing was on
+
+
+class TestAdaptiveFeedback:
+    def test_rollup_feeds_eviction_weights_and_refresh_candidates(
+            self, telemetry):
+        service, _, _, log = telemetry
+        hot = make_workload(96, 80, 64)
+        cold = make_workload(128, 96, 32)
+        for _ in range(3):
+            service.plan(hot)
+        service.plan(cold)
+
+        rollup = rollup_requests(log.path)
+        hot_key = service.signature_for(hot).key()
+        cold_key = service.signature_for(cold).key()
+        assert rollup.traffic_weights()[hot_key] == 3.0
+
+        service.apply_rollup(rollup)
+        weights = service.cache.traffic_weights
+        assert weights is not None and weights[hot_key] == 3.0
+
+        candidates = service.refresh_candidates(top_n=1)
+        assert [key for key, _, _ in candidates] == [hot_key]
+        (key, requests, age) = candidates[0]
+        assert requests == 3
+        assert age is None or age >= 0.0
+        assert cold_key in [k for k, _, _ in service.refresh_candidates(top_n=5)]
+
+        service.apply_rollup(None)
+        assert service.cache.traffic_weights is None
+
+    def test_refresh_candidates_without_rollup_is_empty(self):
+        with PlannerService(MACHINE, **SERVICE_OPTIONS) as service:
+            assert service.refresh_candidates() == []

@@ -157,3 +157,54 @@ class TestPlanResponsePayload:
         response = self._served_response()
         payload = protocol.plan_response_payload(response, worker=0, pid=1)
         assert RemotePlanResponse.from_dict(json.loads(json.dumps(payload)))
+
+
+class TestProtocolVersion11:
+    """Additive 1.1 fields: trace context, metrics op, plan_age/trace_id/spans."""
+
+    def test_version_is_1_1(self):
+        assert protocol.PROTOCOL_VERSION == (1, 1)
+
+    def test_untraced_plan_request_is_wire_identical_to_1_0(self):
+        workload = Workload("w", 96, 80, 64)
+        request = plan_request(workload)
+        assert "trace" not in request  # old servers never see the new key
+
+    def test_trace_context_travels_when_given(self):
+        workload = Workload("w", 96, 80, 64)
+        trace = {"trace_id": "t" * 16, "parent_span_id": "p" * 16}
+        request = plan_request(workload, trace=trace)
+        assert request["trace"] == trace
+
+    def test_metrics_request_shape(self):
+        assert protocol.metrics_request() == {"op": "metrics"}
+
+    def test_response_telemetry_fields_roundtrip(self):
+        from repro.planner import PlannerService
+        from repro.topology.machines import uniform_system
+
+        with PlannerService(uniform_system(2), replication_factors=[1]) as service:
+            response = service.plan(Workload("w", 96, 80, 64))
+        spans = [{"name": "worker.plan", "trace_id": "abc", "span_id": "s",
+                  "parent_id": None, "start": 1.0, "duration": 0.1,
+                  "attributes": {}, "pid": 7, "role": "worker-0"}]
+        payload = protocol.plan_response_payload(response, worker=0, pid=7,
+                                                 trace_id="abc", spans=spans)
+        remote = RemotePlanResponse.from_dict(payload)
+        assert remote.trace_id == "abc"
+        assert remote.spans == spans
+        assert remote.plan_age == response.plan_age
+
+    def test_1_0_response_without_telemetry_fields_still_parses(self):
+        from repro.planner import PlannerService
+        from repro.topology.machines import uniform_system
+
+        with PlannerService(uniform_system(2), replication_factors=[1]) as service:
+            response = service.plan(Workload("w", 96, 80, 64))
+        payload = protocol.plan_response_payload(response, worker=0, pid=7)
+        for key in ("plan_age", "trace_id", "spans"):
+            payload.pop(key, None)
+        remote = RemotePlanResponse.from_dict(payload)
+        assert remote.plan_age == 0.0
+        assert remote.trace_id is None
+        assert remote.spans == []

@@ -4,7 +4,12 @@ import logging
 
 import numpy as np
 
-from repro.util.logging import enable_console_logging, get_logger
+from repro.util.logging import (
+    enable_console_logging,
+    format_kv,
+    get_logger,
+    log_event,
+)
 from repro.util.rng import make_rng, random_matrix
 
 
@@ -64,3 +69,39 @@ class TestLogging:
         stream_handlers = [h for h in root.handlers if isinstance(h, logging.StreamHandler)
                            and not isinstance(h, logging.NullHandler)]
         assert len(stream_handlers) == 1
+
+
+class TestStructuredEvents:
+    def test_format_kv_sorts_and_quotes(self):
+        text = format_kv(b=2, a="x", c="two words", d=0.123456789)
+        assert text == "a=x b=2 c='two words' d=0.123457"
+
+    def test_log_event_renders_event_plus_fields(self, caplog):
+        logger = get_logger("test.structured")
+        with caplog.at_level(logging.INFO, logger="repro.test.structured"):
+            log_event(logger, "serve.worker.start", worker=1, pid=42)
+        (record,) = caplog.records
+        assert record.message == "serve.worker.start pid=42 worker=1"
+
+    def test_log_event_carries_the_active_trace_id(self, caplog):
+        from repro.obs.tracing import Tracer
+
+        logger = get_logger("test.structured")
+        tracer = Tracer(role="test")
+        with caplog.at_level(logging.INFO, logger="repro.test.structured"):
+            with tracer.span("request"):
+                log_event(logger, "planner.event", outcome="hit")
+        (span,) = tracer.spans()
+        (record,) = caplog.records
+        assert f"trace={span.trace_id}" in record.message
+
+    def test_log_event_skips_formatting_when_disabled(self, caplog):
+        logger = get_logger("test.silenced")
+
+        class Unrenderable:
+            def __str__(self):
+                raise AssertionError("formatted a record on a silenced logger")
+
+        with caplog.at_level(logging.ERROR, logger="repro.test.silenced"):
+            log_event(logger, "noisy.event", payload=Unrenderable())
+        assert caplog.records == []
