@@ -10,9 +10,10 @@ Two checks, both offline and stdlib-only:
    counted but not fetched (CI has no network guarantee).
 
 2. **Snippet smoke** — every fenced ``python`` code block in the
-   executable docs (docs/serving.md, docs/observability.md) is extracted and
-   executed *in order in one shared namespace per file*, so the documented
-   quickstarts provably run against the current code.
+   executable docs (docs/serving.md, docs/observability.md,
+   docs/adaptive.md) is extracted and executed *in order in one shared
+   namespace per file*, so the documented quickstarts provably run against
+   the current code.
 
 Usage:
     python scripts/check_docs.py
@@ -35,7 +36,8 @@ LINKED_FILES = ["README.md", "ROADMAP.md"]
 
 #: Documentation files whose python blocks must execute.
 EXECUTABLE_DOCS = [os.path.join("docs", "serving.md"),
-                   os.path.join("docs", "observability.md")]
+                   os.path.join("docs", "observability.md"),
+                   os.path.join("docs", "adaptive.md")]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)

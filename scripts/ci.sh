@@ -46,6 +46,9 @@ python benchmarks/bench_sparse_sweep.py --check
 echo "== benchmark smoke: telemetry overhead bar (off free, on < 5%) =="
 python benchmarks/bench_telemetry_overhead.py --check
 
+echo "== benchmark smoke: adaptive refresh replay (identical plans, no request-path colds) =="
+python benchmarks/bench_adaptive_refresh.py --check
+
 echo "== docs: markdown link check + executable-doc snippet smoke =="
 python scripts/check_docs.py
 

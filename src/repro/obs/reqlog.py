@@ -49,8 +49,10 @@ class RequestRecord:
     signature: str
     #: The requesting workload's name (human-readable context).
     workload: str
-    #: ``"hit"`` (plan cache), ``"computed"`` (ran the search), or
-    #: ``"coalesced"`` (waited on an identical in-flight computation).
+    #: ``"hit"`` (plan cache), ``"stale"`` (expired-but-in-grace cache entry
+    #: served while a background refresh recomputes it), ``"computed"`` (ran
+    #: the search), or ``"coalesced"`` (waited on an identical in-flight
+    #: computation).
     outcome: str
     #: Age in seconds of the served plan at serve time (0.0 when computed).
     plan_age: float

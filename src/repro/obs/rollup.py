@@ -55,6 +55,9 @@ class SignatureRollup:
     hits: int = 0
     computed: int = 0
     coalesced: int = 0
+    #: Hits that served an expired-but-in-grace plan (stale-while-revalidate;
+    #: a subset of ``hits``).
+    stale: int = 0
     first_ts: float = 0.0
     last_ts: float = 0.0
     #: Plan-age-at-serve percentiles, seconds.
@@ -82,6 +85,12 @@ class SignatureRollup:
         self.requests += 1
         if record.outcome == "hit":
             self.hits += 1
+        elif record.outcome == "stale":
+            # A stale serve IS a cache hit (the caller got an answer from
+            # the cache); the dedicated counter tracks how many rode the
+            # grace window.
+            self.hits += 1
+            self.stale += 1
         elif record.outcome == "coalesced":
             self.coalesced += 1
         else:
@@ -116,6 +125,7 @@ class SignatureRollup:
             "signature": self.signature, "workload": self.workload,
             "requests": self.requests, "hits": self.hits,
             "computed": self.computed, "coalesced": self.coalesced,
+            "stale": self.stale,
             "first_ts": self.first_ts, "last_ts": self.last_ts,
             "age_p50": self.age_p50, "age_p90": self.age_p90,
             "age_max": self.age_max, "latency_p50": self.latency_p50,
@@ -128,7 +138,7 @@ class SignatureRollup:
         """Rebuild an aggregate from :meth:`to_dict` output."""
         known = {f: payload[f] for f in (
             "signature", "workload", "requests", "hits", "computed",
-            "coalesced", "first_ts", "last_ts", "age_p50", "age_p90",
+            "coalesced", "stale", "first_ts", "last_ts", "age_p50", "age_p90",
             "age_max", "latency_p50", "latency_p90", "latency_max", "workers",
         ) if f in payload}
         return cls(**known)  # type: ignore[arg-type]
@@ -147,9 +157,15 @@ class Rollup:
     records: int = 0
 
     def top(self, n: int = 5, by: str = "requests") -> List[SignatureRollup]:
-        """The ``n`` largest aggregates by a numeric field (default: traffic)."""
+        """The ``n`` largest aggregates by a numeric field (default: traffic).
+
+        Ordering is fully deterministic: descending by the field, ties broken
+        by ascending signature key — dict insertion order (which depends on
+        log-replay order) never leaks into consumers like
+        :meth:`repro.planner.service.PlannerService.refresh_candidates`.
+        """
         return sorted(self.signatures.values(),
-                      key=lambda agg: getattr(agg, by), reverse=True)[:n]
+                      key=lambda agg: (-getattr(agg, by), agg.signature))[:n]
 
     def traffic_weights(self) -> Dict[str, float]:
         """Per-signature request counts — the eviction-weighting input."""

@@ -14,13 +14,23 @@ This package is the production answer the ROADMAP's serving goal needs:
   selector's exact ranking while simulating fewer candidates;
 * :mod:`repro.planner.service` — :class:`PlannerService`, the serving
   facade: ``plan()`` / ``plan_many()`` with a worker pool, single-flight
-  dedup of concurrent identical requests, and serving statistics.
+  dedup of concurrent identical requests, and serving statistics;
+* :mod:`repro.planner.refresh` — :class:`BackgroundRefresher`, the adaptive
+  refresh engine: stale-while-revalidate revalidation, pre-TTL refresh,
+  predictive prewarming, and drift-triggered re-planning, all off the
+  request path.
 
 ``repro.bench.selector.recommend_partitioning`` delegates here, so existing
 callers get the pruned search transparently.
 """
 
 from repro.planner.cache import CacheStats, PlanCache, PlanEntry
+from repro.planner.refresh import (
+    BackgroundRefresher,
+    DriftTracker,
+    RefreshStats,
+    TransitionTable,
+)
 from repro.planner.search import (
     BOUND_CRITICAL_PATH,
     BOUND_OCCUPANCY,
@@ -43,6 +53,10 @@ from repro.planner.signature import (
 __all__ = [
     "BOUND_CRITICAL_PATH",
     "BOUND_OCCUPANCY",
+    "BackgroundRefresher",
+    "DriftTracker",
+    "RefreshStats",
+    "TransitionTable",
     "CacheStats",
     "PlanCache",
     "PlanEntry",

@@ -13,6 +13,13 @@ Over-budget inserts evict in LRU order; expired entries are dropped lazily on
 access and eagerly on load, and both show up in the counters
 (:attr:`CacheStats.evictions` / :attr:`CacheStats.expirations`).
 
+A **grace window** (``grace_seconds``) softens TTL expiry for serving:
+:meth:`~PlanCache.get_for_serving` keeps answering with an expired entry for
+up to ``grace_seconds`` past its TTL, flagging the answer stale so the caller
+can revalidate in the background (stale-while-revalidate).  The plain
+:meth:`~PlanCache.get` path is unchanged — expiry there still means a miss —
+so callers that never opt in see the historical behavior bit for bit.
+
 The JSON store gives warm starts across processes: a service can
 :meth:`~PlanCache.save` its cache on shutdown and :meth:`~PlanCache.load` it
 at boot, skipping every simulation for previously planned signatures.  The
@@ -148,6 +155,14 @@ class CacheStats:
     ttl_seconds: Optional[float] = None
     #: Age in seconds of the oldest resident entry (``None`` when empty).
     oldest_age_seconds: Optional[float] = None
+    #: Expired-but-in-grace entries served by :meth:`PlanCache.get_for_serving`
+    #: (each also counts as a hit — the caller got an answer).
+    stale_serves: int = 0
+    #: Entries dropped by :meth:`PlanCache.invalidate` (drift re-planning).
+    invalidations: int = 0
+    #: The configured stale-while-revalidate window (``None`` means expiry
+    #: is hard even on the serving path).
+    grace_seconds: Optional[float] = None
 
     @property
     def hit_rate(self) -> float:
@@ -192,6 +207,12 @@ class PlanCache:
       expired entries are dropped lazily on :meth:`get` and eagerly on
       :meth:`load`, and count as misses (plus the ``expirations`` counter).
 
+    ``grace_seconds`` opts the *serving* lookup path
+    (:meth:`get_for_serving`) into stale-while-revalidate: an entry expired
+    less than ``grace_seconds`` ago is still returned (flagged stale) instead
+    of dropped, so the caller can answer immediately and refresh off-path.
+    The window only matters with a TTL set, and never affects :meth:`get`.
+
     ``clock`` is injectable for tests; it must return seconds as a float and
     defaults to :func:`time.time` (wall clock, so TTLs survive the on-disk
     round trip across processes).
@@ -215,6 +236,7 @@ class PlanCache:
         *,
         max_bytes: Optional[int] = None,
         ttl_seconds: Optional[float] = None,
+        grace_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.time,
         metrics=None,
     ) -> None:
@@ -224,9 +246,12 @@ class PlanCache:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         if ttl_seconds is not None and ttl_seconds <= 0:
             raise ValueError(f"ttl_seconds must be > 0, got {ttl_seconds}")
+        if grace_seconds is not None and grace_seconds <= 0:
+            raise ValueError(f"grace_seconds must be > 0, got {grace_seconds}")
         self.capacity = capacity
         self.max_bytes = max_bytes
         self.ttl_seconds = ttl_seconds
+        self.grace_seconds = grace_seconds
         self._clock = clock
         self._entries: "OrderedDict[str, _Slot]" = OrderedDict()
         self._total_bytes = 0
@@ -236,6 +261,8 @@ class PlanCache:
         self._puts = 0
         self._evictions = 0
         self._expirations = 0
+        self._stale_serves = 0
+        self._invalidations = 0
         self._weights: Optional[Dict[str, float]] = None
         registry = metrics if metrics is not None else NULL_REGISTRY
         self._m_lookups_hit = registry.counter(
@@ -251,6 +278,12 @@ class PlanCache:
             "Entries evicted by capacity/byte pressure.")
         self._m_expirations = registry.counter(
             "repro_plan_cache_expirations_total", "Entries dropped by TTL.")
+        self._m_stale_serves = registry.counter(
+            "repro_plan_cache_stale_serves_total",
+            "Expired-but-in-grace entries served pending a refresh.")
+        self._m_invalidations = registry.counter(
+            "repro_plan_cache_invalidations_total",
+            "Entries dropped explicitly (e.g. structure drift).")
         self._m_entries = registry.gauge(
             "repro_plan_cache_entries", "Resident plan-cache entries.")
         self._m_bytes = registry.gauge(
@@ -305,6 +338,64 @@ class PlanCache:
             self._hits += 1
             self._m_lookups_hit.inc()
             return (slot.entry, max(0.0, now - slot.created_at))
+
+    def get_for_serving(self, key: str) -> Optional[tuple]:
+        """Serving lookup: ``(entry, age_seconds, stale)`` or ``None``.
+
+        The stale-while-revalidate variant of :meth:`get_with_age`.  A fresh
+        entry behaves identically (``stale=False``).  An entry whose TTL
+        elapsed less than ``grace_seconds`` ago is *kept and returned* with
+        ``stale=True`` — the caller should serve it immediately and enqueue a
+        background refresh — and counts as a hit plus a stale serve.  Past
+        ``ttl + grace`` (or with no grace window configured) expiry is hard:
+        the entry is dropped and the lookup is a miss, exactly as
+        :meth:`get`.
+        """
+        with self._lock:
+            slot = self._entries.get(key)
+            if slot is None:
+                self._misses += 1
+                self._m_lookups_miss.inc()
+                return None
+            now = self._clock()
+            if self._expired(slot, now):
+                overshoot = (now - slot.created_at) - (self.ttl_seconds or 0.0)
+                if self.grace_seconds is None or overshoot > self.grace_seconds:
+                    self._drop(key)
+                    self._expirations += 1
+                    self._misses += 1
+                    self._m_expirations.inc()
+                    self._m_lookups_miss.inc()
+                    self._sync_gauges()
+                    return None
+                self._entries.move_to_end(key)
+                self._hits += 1
+                self._stale_serves += 1
+                self._m_lookups_hit.inc()
+                self._m_stale_serves.inc()
+                return (slot.entry, max(0.0, now - slot.created_at), True)
+            self._entries.move_to_end(key)
+            self._hits += 1
+            self._m_lookups_hit.inc()
+            return (slot.entry, max(0.0, now - slot.created_at), False)
+
+    def invalidate(self, key: str) -> bool:
+        """Explicitly drop one entry (no hit/miss accounting); True if present.
+
+        Used by drift-triggered re-planning: when live structure statistics
+        show a signature's plan was computed for a bucket the traffic has
+        left, the refresher invalidates it so the next lookup re-plans (or a
+        background refresh repopulates it) instead of serving a mispriced
+        plan until TTL.
+        """
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._drop(key)
+            self._invalidations += 1
+            self._m_invalidations.inc()
+            self._sync_gauges()
+            return True
 
     def _victim(self, protect: str) -> str:
         """Pick the next eviction victim (caller holds the lock).
@@ -439,7 +530,10 @@ class PlanCache:
                               size=len(self._entries), capacity=self.capacity,
                               total_bytes=self._total_bytes, max_bytes=self.max_bytes,
                               ttl_seconds=self.ttl_seconds,
-                              oldest_age_seconds=oldest)
+                              oldest_age_seconds=oldest,
+                              stale_serves=self._stale_serves,
+                              invalidations=self._invalidations,
+                              grace_seconds=self.grace_seconds)
 
     # ------------------------------------------------------------------ #
     # persistence

@@ -20,9 +20,19 @@ but production-shaped:
   (:mod:`repro.obs`) publishes per-request telemetry: outcome counters and
   latency histograms, one span tree per request, one log line per request;
 * **adaptive** — :meth:`~PlannerService.apply_rollup` feeds compacted
-  telemetry back into serving (traffic-weighted cache eviction), and
+  telemetry back into serving (traffic-weighted cache eviction),
   :meth:`~PlannerService.refresh_candidates` names the hot signatures a
-  background refresher should re-plan first.
+  background refresher should re-plan first, and
+  :meth:`~PlannerService.refresh` recomputes one signature off the request
+  path (sharing the single-flight table with foreground ``plan()`` calls).
+  With a grace window configured (``cache_grace_seconds``) the service
+  serves **stale-while-revalidate**: a just-expired plan answers
+  immediately (``stale=True``) while the refresher recomputes it, and with
+  ``refresh_options`` set the service owns a
+  :class:`~repro.planner.refresh.BackgroundRefresher` that keeps hot plans
+  warm before TTL expiry, prewarms predicted-next signatures, and re-plans
+  drifted MoE/block-sparse buckets — so under steady traffic zero cold
+  plans execute on the request path.
 
 ``plan_many()`` fans a batch of requests over a thread pool, which both
 exercises and benefits from single-flight dedup when the batch repeats
@@ -74,6 +84,11 @@ class PlanResponse:
     #: Age in seconds of the served plan at serve time (0.0 for plans
     #: computed by — or coalesced onto — this very request).
     plan_age: float = 0.0
+    #: True when the served plan's TTL had expired but the entry was still
+    #: inside the cache's grace window (stale-while-revalidate): the answer
+    #: is the previous plan, served immediately while a background refresh
+    #: recomputes it off-path.  Always implies ``cache_hit``.
+    stale: bool = False
     #: Search bookkeeping; ``None`` for cache hits and coalesced waits.
     search_stats: Optional[SearchStats] = None
 
@@ -98,6 +113,12 @@ class ServiceStats:
     #: aggregation must take the max of per-worker values).
     max_planning_time: float = 0.0
     warm_start_entries: int = 0
+    #: Cache hits that served an expired-but-in-grace plan (a subset of
+    #: ``cache_hits``; each should have triggered a background refresh).
+    stale_hits: int = 0
+    #: Plans recomputed off the request path (:meth:`PlannerService.refresh`);
+    #: a subset of ``plans_computed``.
+    background_refreshes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -116,6 +137,13 @@ class _InFlight:
         self.error: Optional[BaseException] = None
 
 
+def _outcome_of(response: "PlanResponse") -> str:
+    """The telemetry outcome label for one served response."""
+    if response.cache_hit:
+        return "stale" if response.stale else "hit"
+    return "coalesced" if response.coalesced else "computed"
+
+
 class _Telemetry:
     """Observability sink for one service (constructed only when enabled).
 
@@ -128,7 +156,7 @@ class _Telemetry:
     __slots__ = ("registry", "tracer", "request_log", "worker_index",
                  "_requests", "_latency", "_phase")
 
-    _OUTCOMES = ("hit", "computed", "coalesced")
+    _OUTCOMES = ("hit", "stale", "computed", "coalesced")
     _PHASES = ("opgen", "bound", "refine", "simulate")
 
     def __init__(self, metrics, tracer, request_log, worker_index: int) -> None:
@@ -158,8 +186,7 @@ class _Telemetry:
 
     def record(self, response: "PlanResponse", workload_name: str) -> None:
         """Publish one served request to every enabled backend."""
-        outcome = ("hit" if response.cache_hit
-                   else "coalesced" if response.coalesced else "computed")
+        outcome = _outcome_of(response)
         self._requests[outcome].inc()
         self._latency[outcome].observe(response.planning_time)
         phases: Dict[str, float] = {}
@@ -206,6 +233,8 @@ class PlannerService:
         cache_capacity: int = 256,
         cache_max_bytes: Optional[int] = None,
         cache_ttl_seconds: Optional[float] = None,
+        cache_grace_seconds: Optional[float] = None,
+        clock=None,
         store_path: Optional[str] = None,
         autosave: bool = False,
         max_workers: int = 4,
@@ -213,6 +242,7 @@ class PlannerService:
         tracer=None,
         request_log=None,
         worker_index: int = -1,
+        refresh_options: Optional[Dict[str, object]] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -229,8 +259,11 @@ class PlannerService:
         self.bucket_ratio = bucket_ratio
         self.prune = prune
         self.config = config or ExecutionConfig(simulate_only=True)
+        self.clock = clock if clock is not None else time.time
         self.cache = PlanCache(cache_capacity, max_bytes=cache_max_bytes,
-                               ttl_seconds=cache_ttl_seconds, metrics=metrics)
+                               ttl_seconds=cache_ttl_seconds,
+                               grace_seconds=cache_grace_seconds,
+                               clock=self.clock, metrics=metrics)
         self.store_path = store_path
         self.autosave = autosave
         # One sink object when ANY observability backend is enabled; None
@@ -242,6 +275,11 @@ class PlannerService:
         self._tracer = (self._telemetry.tracer if self._telemetry is not None
                         else NULL_TRACER)
         self._rollup: Optional[Rollup] = None
+        # Observation hook for the background refresher (``set_observer``):
+        # None when no refresher is attached, so the request path's cost for
+        # the disabled feature is one attribute check — the same discipline
+        # as the telemetry sink above.
+        self._observer = None
         self._max_workers = max_workers
         self._pool: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
@@ -260,6 +298,16 @@ class PlannerService:
             self._stats.warm_start_entries = self.cache.load(
                 store_path, fingerprint=self.cost_model_fingerprint
             )
+        # The adaptive refresh engine is owned by the service when asked for:
+        # ``refresh_options`` (kwargs for BackgroundRefresher) builds and
+        # starts one, and close() stops it.  The import is lazy because
+        # refresh.py drives *this* class — the one intentional cycle.
+        self.refresher = None
+        if refresh_options is not None:
+            from repro.planner.refresh import BackgroundRefresher
+
+            self.refresher = BackgroundRefresher(self, **refresh_options)  # type: ignore[arg-type]
+            self.refresher.start()
 
     # ------------------------------------------------------------------ #
     # signatures
@@ -325,9 +373,7 @@ class PlannerService:
                                    workload=workload.name) as span:
             response = self._plan(workload, top_k=top_k)
             span.set(signature=response.signature.key(),
-                     outcome=("hit" if response.cache_hit else
-                              "coalesced" if response.coalesced
-                              else "computed"))
+                     outcome=_outcome_of(response))
             telemetry.record(response, workload.name)
         return response
 
@@ -341,25 +387,32 @@ class PlannerService:
         flight: Optional[_InFlight] = None
         with self._lock:
             self._stats.requests += 1
-            found = self.cache.get_with_age(key)
+            found = self.cache.get_for_serving(key)
             if found is None:
                 flight = self._inflight.get(key)
                 if flight is None:
                     flight = _InFlight()
                     self._inflight[key] = flight
                     leader = True
+        observer = self._observer
         if found is not None:
-            entry, plan_age = found
+            entry, plan_age, stale = found
             elapsed = time.perf_counter() - started
             with self._lock:
                 self._stats.cache_hits += 1
+                if stale:
+                    self._stats.stale_hits += 1
                 self._stats.total_planning_time += elapsed
                 if elapsed > self._stats.max_planning_time:
                     self._stats.max_planning_time = elapsed
+            if observer is not None:
+                observer.observe_request(signature, effective_k, workload,
+                                         stale=stale)
             return PlanResponse(signature=signature,
                                 recommendations=list(entry.recommendations),
                                 cache_hit=True, coalesced=False,
-                                planning_time=elapsed, plan_age=plan_age)
+                                planning_time=elapsed, plan_age=plan_age,
+                                stale=stale)
 
         assert flight is not None
         if not leader:
@@ -373,6 +426,9 @@ class PlannerService:
             if flight.error is not None:
                 raise flight.error
             assert flight.entry is not None
+            if observer is not None:
+                observer.observe_request(signature, effective_k, workload,
+                                         stale=False)
             return PlanResponse(signature=signature,
                                 recommendations=list(flight.entry.recommendations),
                                 cache_hit=False, coalesced=True,
@@ -424,6 +480,9 @@ class PlannerService:
             self._stats.total_planning_time += elapsed
             if elapsed > self._stats.max_planning_time:
                 self._stats.max_planning_time = elapsed
+        if observer is not None:
+            observer.observe_request(signature, effective_k, workload,
+                                     stale=False)
         return PlanResponse(signature=signature,
                             recommendations=list(entry.recommendations),
                             cache_hit=False, coalesced=False,
@@ -456,6 +515,25 @@ class PlannerService:
         with self._lock:
             return replace(self._stats)
 
+    @property
+    def metrics_registry(self):
+        """The registry requests are instrumented on (no-op when disabled)."""
+        return (self._telemetry.registry if self._telemetry is not None
+                else NULL_REGISTRY)
+
+    def set_observer(self, observer) -> None:
+        """Install (or clear, with ``None``) the request-observation hook.
+
+        The observer sees every served request as
+        ``observe_request(signature, top_k, workload, stale=...)`` — the feed
+        a :class:`~repro.planner.refresh.BackgroundRefresher` uses for
+        stale-triggered refreshes, transition-table prewarming, and drift
+        tracking.  Calls happen outside the service lock, after the response
+        is accounted; the observer must be cheap and must not call back into
+        ``plan()``.
+        """
+        self._observer = observer
+
     # ------------------------------------------------------------------ #
     # telemetry feedback (adaptive planning)
     # ------------------------------------------------------------------ #
@@ -484,6 +562,10 @@ class PlannerService:
         the work list a background refresher should re-plan first: recomputing
         these *before* TTL expiry keeps the hottest traffic on warm plans.
         Empty until :meth:`apply_rollup` has been called.
+
+        Ordering is fully deterministic: descending traffic, ties broken by
+        ascending signature key (see :meth:`repro.obs.rollup.Rollup.top`),
+        so refresher behavior is reproducible run to run.
         """
         with self._lock:
             rollup = self._rollup
@@ -499,6 +581,77 @@ class PlannerService:
                 break
         return candidates
 
+    def refresh(self, signature: ProblemSignature, *,
+                top_k: Optional[int] = None) -> bool:
+        """Recompute one signature's plan off the request path.
+
+        The background half of single-flight: the refresh registers itself
+        in the same in-flight table foreground ``plan()`` calls rendezvous
+        on, so a request arriving mid-refresh coalesces onto it instead of
+        running a duplicate search — and a refresh finding the key already
+        in flight (a foreground leader got there first) skips.  The computed
+        entry replaces the cached one with a fresh TTL epoch; the search is
+        deterministic per signature, so a refresh never changes *what* is
+        recommended, only *when* it was computed.
+
+        Args:
+            signature: the (bucketed) signature to re-plan — its
+                representative corner workload is searched, exactly as a
+                foreground miss would.
+            top_k: ranked plans to keep; must match the ``top_k`` the
+                signature's options digest was built with (observers learn
+                it from :meth:`set_observer` callbacks).
+
+        Returns:
+            True if this call computed the plan; False if it was skipped
+            because an identical computation was already in flight.
+        """
+        key = signature.key()
+        effective_k = self.top_k if top_k is None else top_k
+        flight = _InFlight()
+        with self._lock:
+            if key in self._inflight:
+                return False
+            self._inflight[key] = flight
+        search_stats: Optional[SearchStats] = None
+        try:
+            planning_workload = signature.representative_workload()
+            recommendations, search_stats = search_partitionings(
+                self.machine,
+                planning_workload,
+                memory_budget_bytes=self.memory_budget_bytes,
+                schemes=self.schemes,
+                replication_factors=self.replication_factors,
+                stationary_options=self.stationary_options,
+                top_k=effective_k,
+                itemsize=self.itemsize,
+                config=self.config,
+                prune=self.prune,
+                tracer=self._tracer,
+            )
+            entry = PlanEntry(recommendations=recommendations,
+                              workload=planning_workload,
+                              num_simulated=search_stats.num_simulated,
+                              num_pruned=search_stats.num_pruned,
+                              fingerprint=self.cost_model_fingerprint)
+            self.cache.put(key, entry)
+            flight.entry = entry
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+        with self._lock:
+            self._stats.plans_computed += 1
+            self._stats.background_refreshes += 1
+            self._stats.candidates_simulated += search_stats.num_simulated
+            self._stats.candidates_pruned += search_stats.num_pruned
+        if self.autosave and self.store_path is not None:
+            self.cache.save(self.store_path)
+        return True
+
     def cache_stats(self):
         """Snapshot of the underlying plan cache's counters."""
         return self.cache.stats()
@@ -511,7 +664,9 @@ class PlannerService:
         return self.cache.save(target)
 
     def close(self) -> None:
-        """Shut the worker pool down (and autosave the store if configured)."""
+        """Shut the refresher and worker pool down (autosaving if configured)."""
+        if self.refresher is not None:
+            self.refresher.close()
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:

@@ -59,8 +59,10 @@ from repro.planner.service import PlanResponse
 #: The protocol dialect this build speaks, as ``(major, minor)``.  1.0 was
 #: the original plan/ping/stats protocol; 1.1 added the optional ``trace``
 #: request field, the ``metrics`` op, and the ``plan_age``/``trace_id``/
-#: ``spans`` response fields (all additive — 1.0 and 1.1 peers interoperate).
-PROTOCOL_VERSION = (1, 1)
+#: ``spans`` response fields; 1.2 added the ``stale`` response flag (a plan
+#: served from an expired-but-in-grace cache entry while a background
+#: refresh recomputes it).  All additive — 1.x peers interoperate.
+PROTOCOL_VERSION = (1, 2)
 
 #: Frame header: one network-order unsigned 32-bit payload length.
 HEADER = struct.Struct("!I")
@@ -284,6 +286,9 @@ class RemotePlanResponse:
     #: Age in seconds of the served plan at serve time (0.0 when computed;
     #: protocol 1.1, defaults for 1.0 servers).
     plan_age: float = 0.0
+    #: True when the plan came from an expired-but-in-grace cache entry
+    #: (stale-while-revalidate; protocol 1.2, defaults for older servers).
+    stale: bool = False
     #: Trace id the worker served under (``None`` when tracing was off).
     trace_id: Optional[str] = None
     #: Wire-form span dicts the worker recorded for this request (protocol
@@ -311,6 +316,7 @@ class RemotePlanResponse:
             worker=int(payload.get("worker", -1)),  # type: ignore[arg-type]
             pid=int(payload.get("pid", 0)),  # type: ignore[arg-type]
             plan_age=float(payload.get("plan_age", 0.0)),  # type: ignore[arg-type]
+            stale=bool(payload.get("stale", False)),
             trace_id=str(trace_id) if trace_id is not None else None,
             spans=list(payload.get("spans") or []),  # type: ignore[arg-type]
         )
@@ -342,6 +348,7 @@ def plan_response_payload(response: PlanResponse, worker: int, pid: int,
         "worker": worker,
         "pid": pid,
         "plan_age": response.plan_age,
+        "stale": response.stale,
     }
     if trace_id is not None:
         payload["trace_id"] = trace_id

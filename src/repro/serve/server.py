@@ -165,6 +165,13 @@ class PlanServer:
             appends to its own ``requests-<i>.jsonl`` there (shared-nothing:
             one writer per file).  ``None`` (default) disables request
             logging.
+        refresh_options: when given, each worker starts its own
+            :class:`~repro.planner.refresh.BackgroundRefresher` (constructed
+            *after* the fork, so its threads live in the worker) with these
+            keyword arguments — stale-while-revalidate revalidation, pre-TTL
+            refresh, prewarming, and drift re-planning all happen inside the
+            worker, off its request path.  ``None`` (default) serves without
+            background refresh, at zero added cost.
 
     Use as a context manager or call :meth:`start` / :meth:`stop` explicitly.
     """
@@ -180,6 +187,7 @@ class PlanServer:
         enable_metrics: bool = False,
         enable_tracing: bool = False,
         reqlog_dir: Optional[str] = None,
+        refresh_options: Optional[Dict[str, object]] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -190,6 +198,8 @@ class PlanServer:
         self.enable_metrics = enable_metrics
         self.enable_tracing = enable_tracing
         self.reqlog_dir = reqlog_dir
+        self.refresh_options = (dict(refresh_options)
+                                if refresh_options is not None else None)
         self._requested_address = address
         #: The resolved listening endpoint (set by :meth:`start`): the Unix
         #: socket path, or the bound ``(host, port)`` tuple.
@@ -234,7 +244,8 @@ class PlanServer:
                       self.machine, self.service_options),
                 kwargs={"enable_metrics": self.enable_metrics,
                         "enable_tracing": self.enable_tracing,
-                        "reqlog_dir": self.reqlog_dir},
+                        "reqlog_dir": self.reqlog_dir,
+                        "refresh_options": self.refresh_options},
                 daemon=True,
                 name=f"plan-worker-{index}",
             )
@@ -518,7 +529,8 @@ def _worker_main(index: int, ctrl, unwanted, listener,
                  *,
                  enable_metrics: bool = False,
                  enable_tracing: bool = False,
-                 reqlog_dir: Optional[str] = None) -> None:
+                 reqlog_dir: Optional[str] = None,
+                 refresh_options: Optional[Dict[str, object]] = None) -> None:
     """Entry point of one forked worker (runs until told to shut down).
 
     Args:
@@ -534,6 +546,10 @@ def _worker_main(index: int, ctrl, unwanted, listener,
         enable_tracing: build a per-worker tracer (role ``worker-<index>``).
         reqlog_dir: when set, append served requests to
             ``<reqlog_dir>/requests-<index>.jsonl``.
+        refresh_options: when set, the service starts (and owns) a
+            per-worker background refresher with these kwargs — constructed
+            here, after the fork, so its daemon threads belong to this
+            process.
     """
     for conn in unwanted:
         try:
@@ -550,10 +566,11 @@ def _worker_main(index: int, ctrl, unwanted, listener,
                    if reqlog_dir is not None else None)
     service = PlannerService(machine, metrics=metrics, tracer=tracer,
                              request_log=request_log, worker_index=index,
+                             refresh_options=refresh_options,
                              **service_options)  # type: ignore[arg-type]
     log_event(_LOG, "serve.worker.start", worker=index, pid=os.getpid(),
               metrics=enable_metrics, tracing=enable_tracing,
-              reqlog=reqlog_dir or "")
+              reqlog=reqlog_dir or "", refresh=refresh_options is not None)
     selector = selectors.DefaultSelector()
     selector.register(ctrl, selectors.EVENT_READ, data="ctrl")
     connections: Dict[int, _Connection] = {}

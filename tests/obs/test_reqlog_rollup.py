@@ -195,3 +195,32 @@ class TestRollup:
         versioned = tmp_path / "versioned.json"
         versioned.write_text(json.dumps({"version": 999, "signatures": {}}))
         assert Rollup.load(str(versioned)).records == 0
+
+    def test_stale_outcome_counts_as_hit_and_stale(self, tmp_path):
+        path = str(tmp_path / "requests.jsonl")
+        with RequestLog(path) as log:
+            log.append(make_record(outcome="hit"))
+            log.append(make_record(outcome="stale", plan_age=12.0))
+        rollup = rollup_requests(path)
+        agg = rollup.signatures["sig-a"]
+        assert (agg.requests, agg.hits, agg.stale) == (2, 2, 1)
+        assert agg.hit_rate == pytest.approx(1.0)
+
+    def test_stale_survives_save_load(self, tmp_path):
+        log_path = str(tmp_path / "requests.jsonl")
+        with RequestLog(log_path) as log:
+            log.append(make_record(outcome="stale"))
+        rollup = rollup_requests(log_path)
+        artifact = str(tmp_path / "rollup.json")
+        rollup.save(artifact)
+        assert Rollup.load(artifact).signatures["sig-a"].stale == 1
+
+    def test_top_breaks_traffic_ties_on_signature_key(self, tmp_path):
+        path = str(tmp_path / "requests.jsonl")
+        with RequestLog(path) as log:
+            # Insertion order deliberately descends; ties must re-sort.
+            for signature in ("sig-z", "sig-m", "sig-a"):
+                log.append(make_record(signature=signature))
+        rollup = rollup_requests(path)
+        assert [agg.signature for agg in rollup.top(3)] \
+            == ["sig-a", "sig-m", "sig-z"]

@@ -500,3 +500,77 @@ class TestServiceBounds:
         assert stats.capacity == 7
         assert stats.max_bytes == 1 << 20
         assert stats.ttl_seconds == 3600.0
+
+
+class TestGraceWindow:
+    class Clock:
+        def __init__(self):
+            self.now = 1000.0
+
+        def __call__(self):
+            return self.now
+
+    def test_fresh_entry_serves_normally(self):
+        clock = self.Clock()
+        cache = PlanCache(ttl_seconds=10.0, grace_seconds=30.0, clock=clock)
+        cache.put("k", make_entry())
+        clock.now += 5.0
+        entry, age, stale = cache.get_for_serving("k")
+        assert entry is not None and not stale
+        assert age == pytest.approx(5.0)
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.stale_serves == 0
+
+    def test_expired_in_grace_serves_stale(self):
+        clock = self.Clock()
+        cache = PlanCache(ttl_seconds=10.0, grace_seconds=30.0, clock=clock)
+        cache.put("k", make_entry())
+        clock.now += 25.0  # 15s past TTL, inside the 30s grace
+        entry, age, stale = cache.get_for_serving("k")
+        assert entry is not None and stale
+        assert age == pytest.approx(25.0)
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.stale_serves == 1
+        # The expired entry still reads as absent through __contains__ so
+        # freshness checks (and put-if-missing logic) treat it as gone.
+        assert "k" not in cache
+
+    def test_past_grace_is_dropped(self):
+        clock = self.Clock()
+        cache = PlanCache(ttl_seconds=10.0, grace_seconds=30.0, clock=clock)
+        cache.put("k", make_entry())
+        clock.now += 45.0  # past TTL + grace
+        assert cache.get_for_serving("k") is None
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.expirations == 1
+
+    def test_no_grace_expiry_is_a_miss(self):
+        clock = self.Clock()
+        cache = PlanCache(ttl_seconds=10.0, clock=clock)
+        cache.put("k", make_entry())
+        clock.now += 11.0
+        assert cache.get_for_serving("k") is None
+
+    def test_missing_key_is_none(self):
+        assert PlanCache().get_for_serving("nope") is None
+
+    def test_invalidate(self):
+        cache = PlanCache()
+        cache.put("k", make_entry())
+        assert cache.invalidate("k") is True
+        assert cache.invalidate("k") is False
+        assert "k" not in cache
+        stats = cache.stats()
+        assert stats.invalidations == 1
+        # Invalidation is bookkeeping, not traffic: no hit/miss accounting.
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_grace_requires_positive_value(self):
+        with pytest.raises(ValueError):
+            PlanCache(grace_seconds=0.0)
+        with pytest.raises(ValueError):
+            PlanCache(grace_seconds=-1.0)
+
+    def test_stats_reports_grace(self):
+        assert PlanCache(grace_seconds=5.0).stats().grace_seconds == 5.0
+        assert PlanCache().stats().grace_seconds is None

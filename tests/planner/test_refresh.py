@@ -1,0 +1,534 @@
+"""Background refresher behaviour: staleness, prediction, drift, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.bench.workloads import Workload, moe_workload
+from repro.core.structure import BlockSparse, even_spread_mask
+from repro.planner import BackgroundRefresher, DriftTracker, PlannerService, TransitionTable
+from repro.planner.refresh import KIND_PREWARM, KIND_STALE, KIND_TTL
+from repro.topology.machines import uniform_system
+
+MACHINE = uniform_system(4)
+SMALL = Workload("small", 96, 80, 64)
+OTHER = Workload("other", 512, 80, 64)
+
+
+class FakeClock:
+    """A manually advanced clock injectable into the service/cache."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def small_service(**kwargs) -> PlannerService:
+    kwargs.setdefault("replication_factors", [1, 2])
+    kwargs.setdefault("stationary_options", ("B", "C"))
+    return PlannerService(MACHINE, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    """Every test must leave the process with the threads it started with."""
+    before = set(threading.enumerate())
+    yield
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = [t for t in threading.enumerate()
+                  if t not in before and t.is_alive()]
+        if not leaked:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"leaked threads: {[t.name for t in leaked]}")
+
+
+class TestStaleWhileRevalidate:
+    def test_expired_in_grace_serves_stale_then_refreshes(self):
+        clock = FakeClock()
+        with small_service(cache_ttl_seconds=10.0, cache_grace_seconds=60.0,
+                           clock=clock) as service:
+            refresher = BackgroundRefresher(service)
+            first = service.plan(SMALL)
+            assert not first.cache_hit and not first.stale
+
+            clock.advance(15.0)  # past TTL, inside grace
+            stale = service.plan(SMALL)
+            assert stale.cache_hit and stale.stale
+            assert stale.plan_age == pytest.approx(15.0)
+            assert (stale.recommendation.describe()
+                    == first.recommendation.describe())
+            assert service.stats().stale_hits == 1
+            assert refresher.stats().scheduled[KIND_STALE] >= 1
+
+            executed = refresher.run_once()
+            assert executed >= 1
+            fresh = service.plan(SMALL)
+            assert fresh.cache_hit and not fresh.stale
+            assert fresh.plan_age == pytest.approx(0.0)
+            assert service.stats().background_refreshes >= 1
+            refresher.close()
+
+    def test_past_grace_is_a_cold_plan_again(self):
+        clock = FakeClock()
+        with small_service(cache_ttl_seconds=10.0, cache_grace_seconds=5.0,
+                           clock=clock) as service:
+            service.plan(SMALL)
+            clock.advance(16.0)  # past TTL + grace
+            response = service.plan(SMALL)
+            assert not response.cache_hit and not response.stale
+
+    def test_without_grace_expiry_is_a_miss(self):
+        clock = FakeClock()
+        with small_service(cache_ttl_seconds=10.0, clock=clock) as service:
+            service.plan(SMALL)
+            clock.advance(15.0)
+            response = service.plan(SMALL)
+            assert not response.cache_hit and not response.stale
+
+    def test_refresh_preserves_recommendations_exactly(self):
+        clock = FakeClock()
+        with small_service(cache_ttl_seconds=10.0, cache_grace_seconds=60.0,
+                           clock=clock) as service:
+            refresher = BackgroundRefresher(service)
+            before = service.plan(SMALL, top_k=3)
+            clock.advance(12.0)
+            service.plan(SMALL, top_k=3)
+            refresher.run_once()
+            after = service.plan(SMALL, top_k=3)
+            assert [r.describe() for r in after.recommendations] \
+                == [r.describe() for r in before.recommendations]
+            refresher.close()
+
+
+class TestPreTTLRefresh:
+    def test_entry_in_margin_window_is_refreshed_before_expiry(self):
+        clock = FakeClock()
+        with small_service(cache_ttl_seconds=10.0, clock=clock) as service:
+            refresher = BackgroundRefresher(service, refresh_margin=0.5)
+            service.plan(SMALL)
+            clock.advance(6.0)  # age 6 > ttl * (1 - margin) = 5
+            executed = refresher.run_once()
+            assert executed == 1
+            assert refresher.stats().scheduled[KIND_TTL] == 1
+            response = service.plan(SMALL)
+            assert response.cache_hit and not response.stale
+            assert response.plan_age == pytest.approx(0.0)
+            refresher.close()
+
+    def test_young_entry_is_left_alone(self):
+        clock = FakeClock()
+        with small_service(cache_ttl_seconds=10.0, clock=clock) as service:
+            refresher = BackgroundRefresher(service, refresh_margin=0.25)
+            service.plan(SMALL)
+            clock.advance(2.0)  # age 2 < threshold 7.5
+            assert refresher.run_once() == 0
+            refresher.close()
+
+    def test_no_ttl_means_no_ttl_scheduling(self):
+        with small_service() as service:
+            refresher = BackgroundRefresher(service)
+            service.plan(SMALL)
+            assert refresher.run_once() == 0
+            refresher.close()
+
+
+class TestSingleFlightParity:
+    @pytest.fixture
+    def slow_search(self, monkeypatch):
+        """Gate the module-level search so a leader can be held in flight."""
+        import repro.planner.service as service_module
+
+        release = threading.Event()
+        entered = threading.Event()
+        original = service_module.search_partitionings
+
+        def gated(*args, **kwargs):
+            entered.set()
+            release.wait(timeout=10.0)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(service_module, "search_partitionings", gated)
+        yield entered, release
+        release.set()
+
+    def test_background_refresh_skips_when_foreground_leads(self, slow_search):
+        entered, release = slow_search
+        with small_service() as service:
+            signature = service.signature_for(SMALL)
+            foreground = threading.Thread(target=service.plan, args=(SMALL,))
+            foreground.start()
+            try:
+                assert entered.wait(timeout=10.0)
+                # The foreground leader holds the flight: refresh must skip
+                # without running a second search.
+                assert service.refresh(signature) is False
+            finally:
+                release.set()
+                foreground.join(timeout=10.0)
+            stats = service.stats()
+            assert stats.background_refreshes == 0
+            assert stats.plans_computed == 1
+
+    def test_foreground_coalesces_onto_background_refresh(self, slow_search):
+        entered, release = slow_search
+        with small_service() as service:
+            signature = service.signature_for(SMALL)
+            results = {}
+
+            def background():
+                results["refreshed"] = service.refresh(signature)
+
+            refresh_thread = threading.Thread(target=background)
+            refresh_thread.start()
+            response_box = {}
+            plan_thread = threading.Thread(
+                target=lambda: response_box.update(
+                    response=service.plan(SMALL)))
+            try:
+                assert entered.wait(timeout=10.0)
+                plan_thread.start()
+                # Give the foreground request time to join the flight.
+                time.sleep(0.05)
+                release.set()
+                plan_thread.join(timeout=10.0)
+            finally:
+                release.set()
+                refresh_thread.join(timeout=10.0)
+                if plan_thread.is_alive():  # pragma: no cover - cleanup
+                    plan_thread.join(timeout=10.0)
+            assert results["refreshed"] is True
+            assert response_box["response"].coalesced
+            stats = service.stats()
+            assert stats.plans_computed == 1
+            assert stats.background_refreshes == 1
+            assert stats.coalesced_requests == 1
+
+
+class TestTransitionTable:
+    def test_predicts_most_frequent_successor_first(self):
+        table = TransitionTable()
+        for _ in range(3):
+            table.observe("a", "b")
+        table.observe("a", "c")
+        assert table.predict("a") == ["b", "c"]
+
+    def test_ties_break_on_ascending_key(self):
+        table = TransitionTable()
+        table.observe("a", "z")
+        table.observe("a", "b")
+        assert table.predict("a") == ["b", "z"]
+
+    def test_self_transitions_are_not_predicted(self):
+        table = TransitionTable()
+        for _ in range(5):
+            table.observe("a", "a")
+        table.observe("a", "b")
+        assert table.predict("a") == ["b"]
+
+    def test_successor_bound_drops_lowest_count(self):
+        table = TransitionTable(max_successors=2)
+        for _ in range(3):
+            table.observe("a", "x")
+        for _ in range(2):
+            table.observe("a", "y")
+        table.observe("a", "z")  # evicts the weakest edge
+        assert table.num_edges == 2
+        assert table.predict("a", top_n=3) == ["x", "y"]
+
+    def test_key_bound_evicts_least_recently_updated(self):
+        table = TransitionTable(max_keys=2)
+        table.observe("a", "x")
+        table.observe("b", "x")
+        table.observe("c", "x")
+        assert table.predict("a") == []
+        assert table.predict("b") == ["x"]
+        assert table.predict("c") == ["x"]
+
+    def test_unknown_key_predicts_nothing(self):
+        assert TransitionTable().predict("never-seen") == []
+
+
+class TestPrewarm:
+    def test_observed_sequence_prewarms_likely_next(self):
+        clock = FakeClock()
+        with small_service(cache_ttl_seconds=10.0, clock=clock) as service:
+            refresher = BackgroundRefresher(service)
+            for _ in range(3):
+                service.plan(SMALL)
+                service.plan(OTHER)
+            # Expire OTHER, then request SMALL: prediction SMALL -> OTHER
+            # should re-plan OTHER off-path before traffic returns to it.
+            other_key = service.signature_for(OTHER).key()
+            service.cache.invalidate(other_key)
+            service.plan(SMALL)
+            executed = refresher.run_once()
+            assert executed >= 1
+            assert refresher.stats().scheduled[KIND_PREWARM] >= 1
+            response = service.plan(OTHER)
+            assert response.cache_hit
+            refresher.close()
+
+    def test_resident_prediction_is_not_reenqueued(self):
+        with small_service() as service:
+            refresher = BackgroundRefresher(service)
+            service.plan(SMALL)
+            service.plan(OTHER)
+            service.plan(SMALL)
+            assert refresher.run_once() == 0
+            refresher.close()
+
+    def test_prewarm_can_be_disabled(self):
+        clock = FakeClock()
+        with small_service(cache_ttl_seconds=10.0, clock=clock) as service:
+            refresher = BackgroundRefresher(service, prewarm=False)
+            for _ in range(2):
+                service.plan(SMALL)
+                service.plan(OTHER)
+            service.cache.invalidate(service.signature_for(OTHER).key())
+            service.plan(SMALL)
+            assert refresher.run_once() == 0
+            refresher.close()
+
+    def test_feed_request_log_seeds_transitions(self, tmp_path):
+        from repro.obs.reqlog import RequestLog, RequestRecord
+
+        log_path = str(tmp_path / "requests.jsonl")
+        with RequestLog(log_path) as log:
+            for _ in range(2):
+                log.append(RequestRecord(ts=1.0, signature="ka", workload="a",
+                                         outcome="hit", plan_age=0.0, latency=0.0))
+                log.append(RequestRecord(ts=2.0, signature="kb", workload="b",
+                                         outcome="hit", plan_age=0.0, latency=0.0))
+        with small_service() as service:
+            refresher = BackgroundRefresher(service)
+            consumed = refresher.feed_request_log(log_path)
+            assert consumed == 4
+            assert refresher.transitions.predict("ka") == ["kb"]
+            refresher.close()
+
+
+class TestDrift:
+    def _moe(self, tokens: int) -> Workload:
+        return moe_workload(4, 256, 256, 256, expert_tokens=[tokens // 4] * 4)
+
+    def test_crossing_invalidates_old_bucket_and_plans_new(self):
+        with small_service() as service:
+            refresher = BackgroundRefresher(service)
+            low = self._moe(400)
+            high = self._moe(900)
+            service.plan(low)
+            low_key = service.signature_for(low).key()
+            for _ in range(10):
+                service.plan(high)
+            refresher.run_once()
+            stats = refresher.stats()
+            assert stats.drift_invalidations == 1
+            assert low_key not in service.cache
+            # One crossing fires once: the planned bucket follows the level.
+            refresher.run_once()
+            assert refresher.stats().drift_invalidations == 1
+            refresher.close()
+
+    def test_lookahead_preplans_the_approaching_bucket(self):
+        with small_service() as service:
+            refresher = BackgroundRefresher(service, drift_alpha=0.3)
+            for tokens in (600, 620, 640, 660, 680, 700):
+                service.plan(self._moe(tokens))
+            refresher.run_once()
+            crossing = service.plan(self._moe(800))
+            assert crossing.cache_hit
+            refresher.close()
+
+    def test_block_sparse_drift_metric(self):
+        mask = even_spread_mask(4, 4, 8)
+        workload = Workload("bs", 256, 256, 256,
+                            structure=BlockSparse(block_k=64, block_n=64,
+                                                  mask=mask))
+        from repro.planner.refresh import _live_level
+        assert _live_level(workload) == 8.0
+
+    def test_dense_workloads_never_enter_the_tracker(self):
+        with small_service() as service:
+            refresher = BackgroundRefresher(service)
+            service.plan(SMALL)
+            assert refresher.drift is not None
+            assert refresher.drift.num_families == 0
+            refresher.close()
+
+    def test_tracker_validation(self):
+        with pytest.raises(ValueError):
+            DriftTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            DriftTracker(lookahead=1.0)
+        with pytest.raises(ValueError):
+            DriftTracker(max_families=0)
+
+
+class TestQueue:
+    def test_overflow_drops_lowest_priority(self):
+        with small_service() as service:
+            refresher = BackgroundRefresher(service, max_queue=1)
+            sig_a = service.signature_for(SMALL)
+            sig_b = service.signature_for(OTHER)
+            with refresher._lock:
+                refresher._enqueue_locked(KIND_PREWARM, sig_b.key(), sig_b, 1)
+                refresher._enqueue_locked(KIND_STALE, sig_a.key(), sig_a, 1)
+            stats = refresher.stats()
+            assert stats.dropped == 1
+            assert stats.queue_depth == 1
+            with refresher._lock:
+                survivor = refresher._pop_task_locked()
+            assert survivor.kind == KIND_STALE
+            refresher.close()
+
+    def test_duplicate_keys_are_deduplicated(self):
+        with small_service() as service:
+            refresher = BackgroundRefresher(service)
+            sig = service.signature_for(SMALL)
+            with refresher._lock:
+                assert refresher._enqueue_locked(KIND_STALE, sig.key(), sig, 1)
+                assert not refresher._enqueue_locked(KIND_STALE, sig.key(), sig, 1)
+            assert refresher.stats().queue_depth == 1
+            refresher.close()
+
+    def test_constructor_validation(self):
+        with small_service() as service:
+            for bad in (dict(interval_seconds=0.0), dict(num_threads=0),
+                        dict(max_queue=0), dict(refresh_margin=1.0)):
+                with pytest.raises(ValueError):
+                    BackgroundRefresher(service, **bad)
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent_and_restartable(self):
+        with small_service() as service:
+            refresher = BackgroundRefresher(service, interval_seconds=0.05)
+            assert not refresher.running
+            refresher.start()
+            refresher.start()  # idempotent
+            assert refresher.running
+            refresher.stop()
+            refresher.stop()  # idempotent
+            assert not refresher.running
+            refresher.start()  # restartable after stop
+            assert refresher.running
+            refresher.close()
+            assert not refresher.running
+
+    def test_threads_drain_work_concurrently(self):
+        clock = FakeClock()
+        with small_service(cache_ttl_seconds=10.0, cache_grace_seconds=60.0,
+                           clock=clock) as service:
+            with BackgroundRefresher(service, interval_seconds=0.02,
+                                     num_threads=2) as refresher:
+                service.plan(SMALL)
+                clock.advance(12.0)
+                stale = service.plan(SMALL)
+                assert stale.stale
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if refresher.stats().completed >= 1:
+                        break
+                    time.sleep(0.01)
+                assert refresher.stats().completed >= 1
+                fresh = service.plan(SMALL)
+                assert fresh.cache_hit and not fresh.stale
+
+    def test_inherited_refresher_counts_stopped_after_fork(self, monkeypatch):
+        import repro.planner.refresh as refresh_module
+
+        with small_service() as service:
+            refresher = BackgroundRefresher(service, interval_seconds=0.05)
+            refresher.start()
+            assert refresher.running
+            real_pid = refresh_module.os.getpid()
+            monkeypatch.setattr(refresh_module.os, "getpid",
+                                lambda: real_pid + 1)
+            assert not refresher.running  # "the child" sees it stopped
+            refresher.stop()  # must not try to join another process's threads
+            monkeypatch.setattr(refresh_module.os, "getpid", lambda: real_pid)
+            refresher.close()
+
+    def test_service_owns_refresher_via_refresh_options(self):
+        service = small_service(refresh_options={"interval_seconds": 0.05})
+        try:
+            assert service.refresher is not None
+            assert service.refresher.running
+            assert service._observer is service.refresher
+        finally:
+            service.close()
+        assert not service.refresher.running
+        assert service._observer is None
+
+    def test_disabled_by_default_with_no_observer(self):
+        with small_service() as service:
+            assert service.refresher is None
+            assert service._observer is None
+            response = service.plan(SMALL)
+            assert response.recommendations
+
+    def test_close_detaches_observer(self):
+        with small_service() as service:
+            refresher = BackgroundRefresher(service)
+            assert service._observer is refresher
+            refresher.close()
+            assert service._observer is None
+
+
+class TestStatsAndMetrics:
+    def test_stats_snapshot_counts(self):
+        clock = FakeClock()
+        with small_service(cache_ttl_seconds=10.0, cache_grace_seconds=60.0,
+                           clock=clock) as service:
+            refresher = BackgroundRefresher(service)
+            service.plan(SMALL)
+            clock.advance(12.0)
+            service.plan(SMALL)
+            refresher.run_once()
+            stats = refresher.stats()
+            assert stats.observed_requests == 2
+            assert stats.completed >= 1
+            assert stats.total_scheduled >= 1
+            assert stats.queue_depth == 0
+            refresher.close()
+
+    def test_metrics_registered_on_service_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        with small_service(metrics=registry, cache_ttl_seconds=10.0,
+                           cache_grace_seconds=60.0, clock=clock) as service:
+            refresher = BackgroundRefresher(service)
+            service.plan(SMALL)
+            clock.advance(12.0)
+            service.plan(SMALL)
+            refresher.run_once()
+            snapshot = registry.snapshot()
+            counters = snapshot["counters"]
+            assert counters['repro_refresh_tasks_total{kind="stale"}'] >= 1
+            assert counters["repro_refresh_completed_total"] >= 1
+            assert counters["repro_plan_cache_stale_serves_total"] == 1
+            refresher.close()
+
+    def test_speculative_task_skipped_when_already_fresh(self):
+        with small_service() as service:
+            refresher = BackgroundRefresher(service)
+            service.plan(SMALL)
+            sig = service.signature_for(SMALL)
+            with refresher._lock:
+                refresher._enqueue_locked(KIND_PREWARM, sig.key(), sig, 1)
+                task = refresher._pop_task_locked()
+            refresher._execute(task)
+            stats = refresher.stats()
+            assert stats.skipped_fresh == 1
+            assert stats.completed == 0
+            refresher.close()

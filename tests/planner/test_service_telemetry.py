@@ -147,3 +147,38 @@ class TestAdaptiveFeedback:
     def test_refresh_candidates_without_rollup_is_empty(self):
         with PlannerService(MACHINE, **SERVICE_OPTIONS) as service:
             assert service.refresh_candidates() == []
+
+    def test_refresh_candidates_order_is_deterministic_under_ties(
+            self, telemetry):
+        """Equal traffic weights must not leave ordering to dict insertion."""
+        service, _, _, log = telemetry
+        # Three distinct shapes, one request each: a three-way traffic tie.
+        shapes = [make_workload(512, 80, 64), make_workload(96, 80, 64),
+                  make_workload(96, 512, 64)]
+        for workload in shapes:
+            service.plan(workload)
+        service.apply_rollup(rollup_requests(log.path))
+        candidates = service.refresh_candidates(top_n=3)
+        keys = [key for key, _, _ in candidates]
+        assert keys == sorted(keys)
+
+    def test_stale_serve_is_logged_as_stale_outcome(self, tmp_path):
+        class Clock:
+            now = 1000.0
+
+            def __call__(self):
+                return self.now
+
+        clock = Clock()
+        log = RequestLog(str(tmp_path / "requests.jsonl"))
+        with PlannerService(MACHINE, request_log=log, clock=clock,
+                            cache_ttl_seconds=10.0, cache_grace_seconds=60.0,
+                            **SERVICE_OPTIONS) as service:
+            workload = make_workload()
+            service.plan(workload)
+            clock.now += 15.0
+            response = service.plan(workload)
+            assert response.stale
+        log.close()
+        outcomes = [record.outcome for record in iter_records(log.path)]
+        assert outcomes == ["computed", "stale"]

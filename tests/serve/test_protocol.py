@@ -162,8 +162,8 @@ class TestPlanResponsePayload:
 class TestProtocolVersion11:
     """Additive 1.1 fields: trace context, metrics op, plan_age/trace_id/spans."""
 
-    def test_version_is_1_1(self):
-        assert protocol.PROTOCOL_VERSION == (1, 1)
+    def test_version_is_at_least_1_1(self):
+        assert protocol.PROTOCOL_VERSION >= (1, 1)
 
     def test_untraced_plan_request_is_wire_identical_to_1_0(self):
         workload = Workload("w", 96, 80, 64)

@@ -345,3 +345,56 @@ class TestRetries:
         with PlanClient(dead_address, retries=1, retry_delay=0.01) as cli:
             with pytest.raises(ConnectionError):
                 cli.ping()
+
+
+class TestBackgroundRefreshFleet:
+    """Per-worker background refreshers: stale flag on the wire, warm serving."""
+
+    def test_stale_rides_the_wire_and_refresh_runs_in_worker(self):
+        options = dict(SERVICE_OPTIONS, cache_ttl_seconds=0.2,
+                       cache_grace_seconds=30.0)
+        with PlanServer(MACHINE, num_workers=1, service_options=options,
+                        refresh_options={"interval_seconds": 10.0}) as srv:
+            with PlanClient(srv.address) as cli:
+                workload = make_workload()
+                first = cli.plan(workload)
+                assert not first.cache_hit and not first.stale
+                import time
+                time.sleep(0.3)  # past TTL, well inside grace
+                stale = cli.plan(workload)
+                assert stale.cache_hit and stale.stale
+                assert stale.plan_age >= 0.2
+                assert (stale.recommendation.describe()
+                        == first.recommendation.describe())
+                # The stale serve woke the worker's refresher; the next
+                # request lands on a fresh recomputed entry.
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    totals = srv.aggregate_stats().totals
+                    if totals.background_refreshes >= 1:
+                        break
+                    time.sleep(0.02)
+                assert totals.background_refreshes >= 1
+                assert totals.stale_hits >= 1
+                fresh = cli.plan(workload)
+                assert fresh.cache_hit and not fresh.stale
+
+    def test_pre_ttl_refresh_keeps_steady_traffic_fresh(self):
+        options = dict(SERVICE_OPTIONS, cache_ttl_seconds=0.4)
+        with PlanServer(MACHINE, num_workers=1, service_options=options,
+                        refresh_options={"interval_seconds": 0.05,
+                                         "refresh_margin": 0.5}) as srv:
+            with PlanClient(srv.address) as cli:
+                import time
+                workload = make_workload()
+                cli.plan(workload)
+                # Steady traffic slower than the TTL but faster than
+                # TTL + grace: with pre-TTL refresh nothing ever goes stale.
+                for _ in range(3):
+                    time.sleep(0.3)
+                    response = cli.plan(workload)
+                    assert response.cache_hit and not response.stale
+
+    def test_fleet_without_refresh_options_reports_zero_refreshes(self, server):
+        totals = server.aggregate_stats().totals
+        assert totals.background_refreshes == 0
