@@ -1,0 +1,311 @@
+"""Joint graph planning: when the chain-aware plan beats per-op greedy.
+
+PR 9 added ``repro.planner.graph``: a joint planner that assigns one
+``(scheme, replication, stationary)`` layout per op of a matmul chain/DAG,
+pricing the reshard between consecutive ops into the objective instead of
+picking each op's layout in isolation.  This benchmark pins the three
+promises that make it trustworthy:
+
+* **exactness** — on every case the chain DP, the branch-and-bound solver,
+  and brute-force enumeration of the full joint lattice agree on the optimal
+  makespan (the two solvers are exact, not heuristic);
+* **joint never loses** — the joint makespan is <= the per-op greedy
+  baseline's on every case (greedy is a member of the search space);
+* **joint sometimes wins** — on the pinned reshard-conflict chains the joint
+  plan is *strictly* better because it accepts a locally-suboptimal layout
+  for one op to avoid expensive redistributions greedy walks into; on the
+  three-op chain the deviating op is the middle one, whose compromise layout
+  removes both adjacent reshards at once.
+
+Replication is pinned to 1 throughout: these ops are small enough that the
+unconstrained search fully replicates the inputs, which makes every layout
+transition cost the same broadcast and hides exactly the effect under test.
+
+All numbers are modelled times from the deterministic simulator, so the
+committed snapshot compares exactly.
+
+Usage:
+    python benchmarks/bench_graph_planner.py --check   # default
+    python benchmarks/bench_graph_planner.py --write
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+_BENCH = os.path.dirname(os.path.abspath(__file__))
+if _BENCH not in sys.path:
+    sys.path.insert(0, _BENCH)
+
+from harness_common import RESULTS_DIR, snapshot_cli, write_result
+
+from repro.bench.schemes import scheme_by_name
+from repro.core.graph import GraphEdge, GraphOp, OpGraph, matmul_chain, mlp_chain
+from repro.planner.graph import (
+    OpLattice,
+    _solve_chain_dp,
+    _solve_dag_branch_and_bound,
+    build_edge_tables,
+    exhaustive_joint_plan,
+    op_workload,
+    plan_graph_layouts,
+)
+from repro.planner.search import search_partitionings
+from repro.topology.machines import uniform_system
+
+SNAPSHOT_PATH = os.path.join(RESULTS_DIR, "graph_planner.json")
+
+GB = 1e9
+
+#: Makespans are exact model arithmetic; two solvers disagreeing by more
+#: than float noise is a real bug.
+EQ_TOLERANCE = 1e-12
+
+
+def _slow_machine():
+    """Four devices with deliberately slow links: reshards dominate."""
+    return uniform_system(4, link_bandwidth=5.0 * GB, name="uniform_slowlink")
+
+
+def _diamond_dag() -> OpGraph:
+    """A four-op diamond (one producer, two branches, one join) for the B&B."""
+    ops = (
+        GraphOp(name="d0", m=128, n=128, k=64),
+        GraphOp(name="d1", m=128, n=128, k=128),
+        GraphOp(name="d2", m=128, n=96, k=128),
+        GraphOp(name="d3", m=128, n=96, k=128),
+    )
+    edges = (
+        GraphEdge(src=0, dst=1, operand="A"),
+        GraphEdge(src=0, dst=2, operand="A"),
+        GraphEdge(src=1, dst=3, operand="A"),
+        GraphEdge(src=2, dst=3, operand="B"),
+    )
+    return OpGraph(name="diamond", ops=ops, edges=edges)
+
+
+def _cases():
+    """The pinned planning problems: (name, machine, graph, planner options)."""
+    return [
+        # Greedy already optimal: every op's isolated winner shares a
+        # self-compatible layout, so the joint planner must simply agree.
+        ("mlp_aligned", uniform_system(4), mlp_chain(96, 64),
+         {"replication_factors": [1], "lattice_size": 4}),
+        # Wide-then-reduce chain on slow links: the first op's isolated
+        # winner emits a layout the second op cannot consume in place, and
+        # the joint plan deviates on op 1 to make the edge free.
+        ("wide_reduce_conflict", _slow_machine(),
+         matmul_chain("widetall", (GraphOp("w1", m=64, n=2048, k=64),
+                                   GraphOp("w2", m=64, n=64, k=2048))),
+         {"replication_factors": [1], "lattice_size": 4}),
+        # Three-op chain under a row/column/inner search space: greedy pays
+        # two expensive reshards around the middle op; the joint plan gives
+        # the middle op a locally-suboptimal layout that removes both.
+        ("middle_compromise", _slow_machine(),
+         matmul_chain("alt3", (GraphOp("a1", m=1024, n=64, k=256),
+                               GraphOp("a2", m=1024, n=1024, k=64),
+                               GraphOp("a3", m=1024, n=64, k=1024))),
+         {"replication_factors": [1], "lattice_size": 6,
+          "schemes": [scheme_by_name("row"), scheme_by_name("column"),
+                      scheme_by_name("inner")]}),
+        # A genuine DAG: branch-and-bound is the primary solver here.
+        ("diamond_dag", _slow_machine(), _diamond_dag(),
+         {"replication_factors": [1], "lattice_size": 4}),
+    ]
+
+
+def _lattices_and_tables(machine, graph, options):
+    """Rebuild the planner's internal tables for the reference solvers."""
+    lattices = []
+    for op in graph.ops:
+        recommendations, _ = search_partitionings(
+            machine, op_workload(op),
+            schemes=options.get("schemes"),
+            replication_factors=options["replication_factors"],
+            top_k=options["lattice_size"],
+        )
+        lattices.append(OpLattice(op_workload(op), tuple(recommendations)))
+    return lattices, build_edge_tables(machine, graph, lattices)
+
+
+def compute_points() -> list:
+    """Solve every pinned case three ways and record the full comparison."""
+    points = []
+    for name, machine, graph, options in _cases():
+        plan, stats = plan_graph_layouts(machine, graph, **options)
+        lattices, tables = _lattices_and_tables(machine, graph, options)
+        exhaustive_assignment, exhaustive_makespan = exhaustive_joint_plan(
+            graph, lattices, tables)
+        # Both exact solvers must agree on every case — chains are DAGs too,
+        # so the branch-and-bound runs even where the DP answered.
+        bnb_assignment, bnb_makespan, bnb_expanded = _solve_dag_branch_and_bound(
+            graph, lattices, tables)
+        record = {
+            "case": name,
+            "graph": graph.name,
+            "num_ops": len(graph.ops),
+            "is_chain": graph.is_chain,
+            "method": plan.method,
+            "assignment": list(plan.assignment),
+            "greedy_assignment": list(plan.greedy_assignment),
+            "joint_makespan": plan.makespan,
+            "greedy_makespan": plan.greedy_makespan,
+            "improvement": plan.improvement,
+            "exhaustive_makespan": exhaustive_makespan,
+            "bnb_makespan": bnb_makespan,
+            "bnb_expanded": bnb_expanded,
+            "joint_edge_times": list(plan.edge_times),
+            "greedy_edge_times": [tables[pos][0][0]
+                                  for pos in range(len(graph.edges))],
+            "joint_schemes": [r.scheme.name for r in plan.recommendations],
+            "greedy_schemes": [lat.recommendations[0].scheme.name
+                               for lat in lattices],
+            "candidates_simulated": stats.num_simulated,
+        }
+        if graph.is_chain:
+            dp_assignment, dp_makespan = _solve_chain_dp(graph, lattices, tables)
+            record["dp_makespan"] = dp_makespan
+            record["dp_assignment"] = list(dp_assignment)
+        points.append(record)
+    return points
+
+
+def _verify(points: list) -> list:
+    """The invariants every run must satisfy, snapshot or not."""
+    failures = []
+    by_case = {record["case"]: record for record in points}
+    for record in points:
+        name = record["case"]
+        joint, greedy = record["joint_makespan"], record["greedy_makespan"]
+        if joint > greedy + EQ_TOLERANCE:
+            failures.append(f"{name}: joint makespan {joint} worse than "
+                            f"greedy {greedy}")
+        for solver in ("exhaustive_makespan", "bnb_makespan"):
+            if abs(record[solver] - joint) > EQ_TOLERANCE:
+                failures.append(f"{name}: {solver} {record[solver]} != "
+                                f"joint {joint} (solver disagreement)")
+        if record["is_chain"] and abs(record["dp_makespan"] - joint) > EQ_TOLERANCE:
+            failures.append(f"{name}: dp_makespan {record['dp_makespan']} != "
+                            f"joint {joint}")
+    for name in ("wide_reduce_conflict", "middle_compromise"):
+        record = by_case.get(name)
+        if record is None:
+            failures.append(f"pinned case {name!r} missing")
+            continue
+        if record["improvement"] <= EQ_TOLERANCE:
+            failures.append(f"{name}: joint no longer strictly beats greedy "
+                            f"(improvement {record['improvement']})")
+        if record["assignment"] == record["greedy_assignment"]:
+            failures.append(f"{name}: joint win without deviating from the "
+                            f"greedy assignment (accounting bug)")
+    aligned = by_case.get("mlp_aligned")
+    if aligned is None:
+        failures.append("pinned case 'mlp_aligned' missing")
+    elif aligned["improvement"] > EQ_TOLERANCE:
+        failures.append("mlp_aligned: greedy was supposed to already be "
+                        "optimal on this case")
+    middle = by_case.get("middle_compromise")
+    if middle is not None and len(middle["assignment"]) == 3:
+        if middle["assignment"][1] == 0:
+            failures.append("middle_compromise: the middle op kept its "
+                            "isolated winner; the pinned conflict is gone")
+        greedy_edges = middle["greedy_edge_times"]
+        joint_edges = middle["joint_edge_times"]
+        if sum(1 for t in greedy_edges if t > 0) < 2:
+            failures.append("middle_compromise: greedy no longer pays two "
+                            "reshards on this chain")
+        if sum(joint_edges) >= sum(greedy_edges):
+            failures.append("middle_compromise: joint plan does not reduce "
+                            "total reshard time")
+    diamond = by_case.get("diamond_dag")
+    if diamond is not None and diamond["method"] != "branch_and_bound":
+        failures.append("diamond_dag: expected the branch-and-bound solver, "
+                        f"got {diamond['method']!r}")
+    return failures
+
+
+def render(points: list) -> str:
+    lines = [
+        f"joint graph planning vs per-op greedy ({len(points)} cases, "
+        "replication pinned to 1)",
+        "",
+        f"{'case':<22} {'ops':>3} {'solver':<17} {'greedy us':>10} "
+        f"{'joint us':>10} {'saved us':>9} {'saved %':>8}",
+    ]
+    for record in points:
+        saved_pct = (100.0 * record["improvement"] / record["greedy_makespan"]
+                     if record["greedy_makespan"] else 0.0)
+        lines.append(
+            f"{record['case']:<22} {record['num_ops']:>3} "
+            f"{record['method']:<17} "
+            f"{record['greedy_makespan'] * 1e6:>10.2f} "
+            f"{record['joint_makespan'] * 1e6:>10.2f} "
+            f"{record['improvement'] * 1e6:>9.2f} {saved_pct:>7.1f}%")
+    lines.append("")
+    lines.append("DP, branch-and-bound, and exhaustive enumeration agree on "
+                 "every case; joint <= greedy everywhere.")
+    return "\n".join(lines)
+
+
+def write_snapshot(path: str = SNAPSHOT_PATH) -> str:
+    points = compute_points()
+    failures = _verify(points)
+    if failures:
+        raise SystemExit("graph planner invariants failed:\n  "
+                         + "\n  ".join(failures))
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": 1, "points": points}, handle, indent=1)
+        handle.write("\n")
+    text = render(points)
+    print(text)
+    write_result("graph_planner", text)
+    return path
+
+
+def check_snapshot(path: str = SNAPSHOT_PATH) -> int:
+    """Re-solve every case and compare the full record to the snapshot.
+
+    Everything is deterministic model arithmetic, so the comparison is
+    exact: assignments, makespans, edge times, and solver agreement all
+    have to reproduce.
+    """
+    with open(path, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    expected = {record["case"]: record for record in snapshot["points"]}
+
+    points = compute_points()
+    failures = _verify(points)
+    for record in points:
+        want = expected.get(record["case"])
+        if want is None:
+            failures.append(f"case {record['case']!r} missing from snapshot")
+            continue
+        if record != want:
+            diffs = [key for key in record
+                     if record.get(key) != want.get(key)]
+            failures.append(f"{record['case']}: diverged from snapshot on "
+                            f"{diffs}")
+    if len(points) != len(snapshot["points"]):
+        failures.append(f"case count {len(points)} != snapshot "
+                        f"{len(snapshot['points'])}")
+    print(render(points))
+    if failures:
+        print("graph planner check FAILED:\n  " + "\n  ".join(failures))
+        return len(failures)
+    print("graph planner: OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    return snapshot_cli(__doc__, SNAPSHOT_PATH, write_snapshot,
+                        check_snapshot, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,9 +11,9 @@ Two checks, both offline and stdlib-only:
 
 2. **Snippet smoke** — every fenced ``python`` code block in the
    executable docs (docs/serving.md, docs/observability.md,
-   docs/adaptive.md) is extracted and executed *in order in one shared
-   namespace per file*, so the documented quickstarts provably run against
-   the current code.
+   docs/adaptive.md, docs/graph_planning.md) is extracted and executed
+   *in order in one shared namespace per file*, so the documented
+   quickstarts provably run against the current code.
 
 Usage:
     python scripts/check_docs.py
@@ -37,7 +37,8 @@ LINKED_FILES = ["README.md", "ROADMAP.md"]
 #: Documentation files whose python blocks must execute.
 EXECUTABLE_DOCS = [os.path.join("docs", "serving.md"),
                    os.path.join("docs", "observability.md"),
-                   os.path.join("docs", "adaptive.md")]
+                   os.path.join("docs", "adaptive.md"),
+                   os.path.join("docs", "graph_planning.md")]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)

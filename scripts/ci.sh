@@ -49,6 +49,9 @@ python benchmarks/bench_telemetry_overhead.py --check
 echo "== benchmark smoke: adaptive refresh replay (identical plans, no request-path colds) =="
 python benchmarks/bench_adaptive_refresh.py --check
 
+echo "== benchmark smoke: joint graph planner check (joint beats greedy, solvers exact) =="
+python benchmarks/bench_graph_planner.py --check
+
 echo "== docs: markdown link check + executable-doc snippet smoke =="
 python scripts/check_docs.py
 

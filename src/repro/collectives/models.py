@@ -75,7 +75,7 @@ def allreduce_time(machine: MachineSpec, ranks: Sequence[int], nbytes: int) -> f
     return 2 * ((group - 1) * latency + (group - 1) / group * nbytes / bandwidth)
 
 
-def alltoall_time(machine: MachineSpec, ranks: Sequence[int], nbytes_per_pair: int) -> float:
+def alltoall_time(machine: MachineSpec, ranks: Sequence[int], nbytes_per_pair: float) -> float:
     """Pairwise-exchange all-to-all with ``nbytes_per_pair`` between each pair."""
     group = len(list(ranks))
     if group <= 1 or nbytes_per_pair <= 0:
@@ -102,5 +102,5 @@ class CollectiveModel:
     def allreduce(self, ranks: Sequence[int], nbytes: int) -> float:
         return allreduce_time(self.machine, ranks, nbytes)
 
-    def alltoall(self, ranks: Sequence[int], nbytes_per_pair: int) -> float:
+    def alltoall(self, ranks: Sequence[int], nbytes_per_pair: float) -> float:
         return alltoall_time(self.machine, ranks, nbytes_per_pair)

@@ -1,4 +1,15 @@
-"""Per-rank computation graphs (paper Section 4.3, first lowering step).
+"""Computation graphs: per-rank dependency graphs and workload-level op DAGs.
+
+Two graph granularities live here:
+
+* :class:`ComputationGraph` — the paper's Section 4.3 bipartite graph for
+  *one rank's* op list (compute nodes vs. tile data nodes), the first
+  lowering step of the IR path;
+* :class:`OpGraph` — a *workload-level* DAG of whole matmuls (an MLP block,
+  an attention stack) whose edges say "this op's output C feeds that op's A
+  (or B) operand".  This is the input the graph-level joint planner
+  (:mod:`repro.planner.graph`) prices: per-op layout choices plus the
+  reshard cost carried by every edge.
 
 "First, we build a computation graph for each process representing the local
 component matrix multiplications it must perform as well as the matrix tiles
@@ -93,3 +104,223 @@ class ComputationGraph:
             for key, node in self.data_nodes.items()
             if key not in self.initially_satisfied
         )
+
+
+# ---------------------------------------------------------------------- #
+# workload-level op DAGs (graph planning input)
+# ---------------------------------------------------------------------- #
+#: Schema version of :meth:`OpGraph.to_dict` payloads.
+OP_GRAPH_SCHEMA_VERSION = 1
+
+#: The operand slots an edge may feed on its consumer.
+EDGE_OPERANDS = ("A", "B")
+
+
+@dataclass(frozen=True)
+class GraphOp:
+    """One whole matmul ``C[m,n] = A[m,k] @ B[k,n]`` inside an :class:`OpGraph`.
+
+    Deliberately a plain shape record (not a harness ``Workload``): the core
+    layer sits below the benchmark harness, so the graph carries only what
+    every layer can agree on — a name and the envelope dimensions.
+    """
+
+    name: str
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        for label, value in (("m", self.m), ("n", self.n), ("k", self.k)):
+            if int(value) < 1:
+                raise ValueError(f"GraphOp {self.name!r}: {label} must be >= 1, "
+                                 f"got {value}")
+
+    @property
+    def output_shape(self) -> Tuple[int, int]:
+        """Shape of the C this op produces."""
+        return (self.m, self.n)
+
+    def operand_shape(self, operand: str) -> Tuple[int, int]:
+        """Shape of the named input operand (``"A"`` is m-by-k, ``"B"`` k-by-n)."""
+        if operand == "A":
+            return (self.m, self.k)
+        if operand == "B":
+            return (self.k, self.n)
+        raise ValueError(f"operand must be one of {EDGE_OPERANDS}, got {operand!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (used by the serving wire protocol)."""
+        return {"name": self.name, "m": self.m, "n": self.n, "k": self.k}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "GraphOp":
+        """Inverse of :meth:`to_dict`."""
+        return cls(name=str(payload["name"]), m=int(payload["m"]),  # type: ignore[arg-type]
+                   n=int(payload["n"]), k=int(payload["k"]))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """One producer-consumer dependency: op ``src``'s C feeds op ``dst``'s operand."""
+
+    src: int
+    dst: int
+    #: Which input slot of the consumer the produced matrix lands in.
+    operand: str = "A"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (used by the serving wire protocol)."""
+        return {"src": self.src, "dst": self.dst, "operand": self.operand}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "GraphEdge":
+        """Inverse of :meth:`to_dict`."""
+        return cls(src=int(payload["src"]), dst=int(payload["dst"]),  # type: ignore[arg-type]
+                   operand=str(payload.get("operand", "A")))
+
+
+@dataclass(frozen=True)
+class OpGraph:
+    """A DAG of whole matmuls whose edges carry produced-C-to-consumed-operand flow.
+
+    Validation enforces everything the joint planner relies on:
+
+    * edge endpoints are in range, never self-loops, operands are A/B;
+    * at most one edge feeds any (consumer, operand) slot;
+    * the producer's output shape equals the consumer operand's shape
+      (``C[src]`` is m-by-n; an ``A`` edge needs ``(m_dst, k_dst)`` equal to
+      it, a ``B`` edge needs ``(k_dst, n_dst)``);
+    * the graph is acyclic (a topological order exists).
+    """
+
+    name: str
+    ops: Tuple[GraphOp, ...]
+    edges: Tuple[GraphEdge, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError("OpGraph needs at least one op")
+        object.__setattr__(self, "ops", tuple(self.ops))
+        object.__setattr__(self, "edges", tuple(self.edges))
+        slots: Set[Tuple[int, str]] = set()
+        for edge in self.edges:
+            if not (0 <= edge.src < len(self.ops)) or not (0 <= edge.dst < len(self.ops)):
+                raise ValueError(f"edge {edge} references ops outside 0..{len(self.ops) - 1}")
+            if edge.src == edge.dst:
+                raise ValueError(f"edge {edge} is a self-loop")
+            if edge.operand not in EDGE_OPERANDS:
+                raise ValueError(f"edge {edge} operand must be one of {EDGE_OPERANDS}")
+            slot = (edge.dst, edge.operand)
+            if slot in slots:
+                raise ValueError(f"operand {edge.operand} of op {edge.dst} is fed "
+                                 f"by more than one edge")
+            slots.add(slot)
+            produced = self.ops[edge.src].output_shape
+            consumed = self.ops[edge.dst].operand_shape(edge.operand)
+            if produced != consumed:
+                raise ValueError(
+                    f"edge {edge.src}->{edge.dst}:{edge.operand}: op "
+                    f"{self.ops[edge.src].name!r} produces {produced} but op "
+                    f"{self.ops[edge.dst].name!r} consumes {consumed}")
+        self.topological_order()  # raises on cycles
+
+    # ------------------------------------------------------------------ #
+    def predecessors(self, index: int) -> List[GraphEdge]:
+        """Every edge whose consumer is op ``index``."""
+        return [edge for edge in self.edges if edge.dst == index]
+
+    def successors(self, index: int) -> List[GraphEdge]:
+        """Every edge whose producer is op ``index``."""
+        return [edge for edge in self.edges if edge.src == index]
+
+    def topological_order(self) -> List[int]:
+        """Deterministic topological order (Kahn's algorithm, smallest index first).
+
+        Raises:
+            ValueError: if the edge set contains a cycle.
+        """
+        indegree = [0] * len(self.ops)
+        for edge in self.edges:
+            indegree[edge.dst] += 1
+        ready = sorted(i for i, d in enumerate(indegree) if d == 0)
+        order: List[int] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for edge in self.successors(node):
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    # Insert keeping `ready` sorted so the order is canonical.
+                    position = 0
+                    while position < len(ready) and ready[position] < edge.dst:
+                        position += 1
+                    ready.insert(position, edge.dst)
+        if len(order) != len(self.ops):
+            raise ValueError(f"OpGraph {self.name!r} contains a cycle")
+        return order
+
+    @property
+    def is_chain(self) -> bool:
+        """True when the ops form one linear path (<=1 predecessor/successor each)."""
+        if len(self.edges) != len(self.ops) - 1:
+            return False
+        in_count = [0] * len(self.ops)
+        out_count = [0] * len(self.ops)
+        for edge in self.edges:
+            in_count[edge.dst] += 1
+            out_count[edge.src] += 1
+        return all(c <= 1 for c in in_count) and all(c <= 1 for c in out_count)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form of the whole graph (inverse of :meth:`from_dict`)."""
+        return {
+            "schema": OP_GRAPH_SCHEMA_VERSION,
+            "name": self.name,
+            "ops": [op.to_dict() for op in self.ops],
+            "edges": [edge.to_dict() for edge in self.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "OpGraph":
+        """Rebuild a graph from :meth:`to_dict` output (re-validates everything)."""
+        return cls(
+            name=str(payload["name"]),
+            ops=tuple(GraphOp.from_dict(item) for item in payload["ops"]),  # type: ignore[union-attr]
+            edges=tuple(GraphEdge.from_dict(item) for item in payload.get("edges", [])),  # type: ignore[union-attr]
+        )
+
+
+def matmul_chain(name: str, ops: Sequence[GraphOp]) -> OpGraph:
+    """Link ``ops`` into a linear chain where each C feeds the next op's A."""
+    edges = tuple(GraphEdge(src=i, dst=i + 1, operand="A")
+                  for i in range(len(ops) - 1))
+    return OpGraph(name=name, ops=tuple(ops), edges=edges)
+
+
+def mlp_chain(batch: int, hidden: int, ratio: int = 4, name: str = "mlp") -> OpGraph:
+    """The transformer MLP block as a two-op chain: ``X @ W1 @ W2``.
+
+    Op 1 expands the hidden dimension (``m=batch, n=ratio*hidden, k=hidden``),
+    op 2 projects back down (``m=batch, n=hidden, k=ratio*hidden``); the first
+    op's activation output is the second op's A operand.
+    """
+    return matmul_chain(name, (
+        GraphOp(name=f"{name}1", m=batch, n=ratio * hidden, k=hidden),
+        GraphOp(name=f"{name}2", m=batch, n=hidden, k=ratio * hidden),
+    ))
+
+
+def attention_chain(seq: int, head_dim: int, hidden: int,
+                    name: str = "attn") -> OpGraph:
+    """One attention head's QKV -> score -> value path as a three-op chain.
+
+    ``Q = X @ Wq`` (seq-by-head_dim), ``S = Q @ K^T`` (seq-by-seq, K^T enters
+    as the stationary B operand), ``O = S @ V`` (seq-by-head_dim): each op's
+    output is the next op's A operand, which is the chain the planner prices.
+    """
+    return matmul_chain(name, (
+        GraphOp(name=f"{name}_qkv", m=seq, n=head_dim, k=hidden),
+        GraphOp(name=f"{name}_score", m=seq, n=seq, k=head_dim),
+        GraphOp(name=f"{name}_value", m=seq, n=head_dim, k=seq),
+    ))

@@ -152,7 +152,10 @@ class DTensor:
         if isinstance(src, Shard) and isinstance(dst, Replicate):
             return RedistributeCost("all_gather", model.allgather(ranks, self.nbytes), self.nbytes)
         if isinstance(src, Shard) and isinstance(dst, Shard):
-            per_pair = self.nbytes // max(size * size, 1)
+            # True division: flooring nbytes // size**2 priced any tensor
+            # smaller than size^2 bytes as a zero-cost reshard, which poisons
+            # consumers that use this as an edge weight (graph planning).
+            per_pair = self.nbytes / max(size * size, 1)
             return RedistributeCost("all_to_all", model.alltoall(ranks, per_pair),
                                     self.nbytes * (size - 1) // size)
         if isinstance(src, Partial) and isinstance(dst, Shard):

@@ -12,9 +12,14 @@ This package is the production answer the ROADMAP's serving goal needs:
 * :mod:`repro.planner.search` — branch-and-bound over the design space using
   admissible cost-model lower bounds, provably returning the exhaustive
   selector's exact ranking while simulating fewer candidates;
+* :mod:`repro.planner.graph` — the joint graph planner: dynamic programming
+  (chains) and branch-and-bound (small DAGs) over per-op layout lattices
+  with reshard costs priced on every edge, so locally-suboptimal layouts
+  that avoid expensive redistributions can win end to end;
 * :mod:`repro.planner.service` — :class:`PlannerService`, the serving
-  facade: ``plan()`` / ``plan_many()`` with a worker pool, single-flight
-  dedup of concurrent identical requests, and serving statistics;
+  facade: ``plan()`` / ``plan_many()`` / ``plan_graph()`` with a worker
+  pool, single-flight dedup of concurrent identical requests, and serving
+  statistics;
 * :mod:`repro.planner.refresh` — :class:`BackgroundRefresher`, the adaptive
   refresh engine: stale-while-revalidate revalidation, pre-TTL refresh,
   predictive prewarming, and drift-triggered re-planning, all off the
@@ -25,6 +30,17 @@ callers get the pruned search transparently.
 """
 
 from repro.planner.cache import CacheStats, PlanCache, PlanEntry
+from repro.planner.graph import (
+    DEFAULT_LATTICE_SIZE,
+    GraphPlan,
+    GraphPlanEntry,
+    OpLattice,
+    assignment_timing,
+    build_edge_tables,
+    exhaustive_joint_plan,
+    op_workload,
+    plan_graph_layouts,
+)
 from repro.planner.refresh import (
     BackgroundRefresher,
     DriftTracker,
@@ -41,9 +57,15 @@ from repro.planner.search import (
     memory_per_device,
     search_partitionings,
 )
-from repro.planner.service import PlannerService, PlanResponse, ServiceStats
+from repro.planner.service import (
+    GraphPlanResponse,
+    PlannerService,
+    PlanResponse,
+    ServiceStats,
+)
 from repro.planner.signature import (
     DEFAULT_BUCKET_RATIO,
+    GraphSignature,
     ProblemSignature,
     bucket_dim,
     machine_fingerprint,
@@ -60,6 +82,15 @@ __all__ = [
     "CacheStats",
     "PlanCache",
     "PlanEntry",
+    "DEFAULT_LATTICE_SIZE",
+    "GraphPlan",
+    "GraphPlanEntry",
+    "OpLattice",
+    "assignment_timing",
+    "build_edge_tables",
+    "exhaustive_joint_plan",
+    "op_workload",
+    "plan_graph_layouts",
     "Candidate",
     "SearchStats",
     "candidate_lower_bound",
@@ -68,8 +99,10 @@ __all__ = [
     "search_partitionings",
     "PlannerService",
     "PlanResponse",
+    "GraphPlanResponse",
     "ServiceStats",
     "DEFAULT_BUCKET_RATIO",
+    "GraphSignature",
     "ProblemSignature",
     "bucket_dim",
     "machine_fingerprint",

@@ -135,6 +135,36 @@ class PlanEntry:
         )
 
 
+#: Decoders for specialized entry payloads in the persistent store, keyed by
+#: the payload's ``"kind"`` discriminator.  Plain :class:`PlanEntry` payloads
+#: carry no kind and keep their historical decoding; subclasses (the graph
+#: planner's :class:`~repro.planner.graph.GraphPlanEntry`) register here at
+#: import time so :meth:`PlanCache.load` can round-trip them.  Payloads with
+#: an unregistered kind are skipped, exactly like unknown-scheme entries.
+_ENTRY_DECODERS: Dict[str, Callable[[Dict[str, object]], PlanEntry]] = {}
+
+
+def register_entry_decoder(kind: str,
+                           decoder: Callable[[Dict[str, object]], PlanEntry]) -> None:
+    """Register the ``from_dict`` for one specialized plan-entry ``kind``."""
+    _ENTRY_DECODERS[str(kind)] = decoder
+
+
+def decode_entry(payload: Dict[str, object]) -> Optional[PlanEntry]:
+    """Decode one persisted entry payload, dispatching on its ``kind``.
+
+    Returns ``None`` for unregistered kinds (forward compatibility: a store
+    written by a newer build must not fail the whole load).  Raises the same
+    ``KeyError``/``ValueError`` family as :meth:`PlanEntry.from_dict` for
+    malformed payloads — :meth:`PlanCache.load` already tolerates those.
+    """
+    kind = payload.get("kind")
+    if kind is None:
+        return PlanEntry.from_dict(payload)
+    decoder = _ENTRY_DECODERS.get(str(kind))
+    return decoder(payload) if decoder is not None else None
+
+
 @dataclass
 class CacheStats:
     """Counter snapshot returned by :meth:`PlanCache.stats`."""
@@ -618,10 +648,10 @@ class PlanCache:
         for item in payload.get("entries", []):
             try:
                 key = item["key"]
-                entry = PlanEntry.from_dict(item["plan"])
+                entry = decode_entry(item["plan"])
             except (KeyError, TypeError, ValueError):
                 continue
-            if not entry.recommendations:
+            if entry is None or not entry.recommendations:
                 continue
             if fingerprint is not None and entry.fingerprint != fingerprint:
                 continue

@@ -57,10 +57,18 @@ from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, NULL_REGISTRY
 from repro.obs.reqlog import RequestRecord
 from repro.obs.rollup import Rollup
 from repro.obs.tracing import NULL_TRACER, current_trace_id
+from repro.core.graph import OpGraph
 from repro.planner.cache import PlanCache, PlanEntry
+from repro.planner.graph import (
+    DEFAULT_LATTICE_SIZE,
+    GraphPlanEntry,
+    op_workload,
+    plan_graph_layouts,
+)
 from repro.planner.search import SearchStats, search_partitionings
 from repro.planner.signature import (
     DEFAULT_BUCKET_RATIO,
+    GraphSignature,
     ProblemSignature,
     bucket_workload,
     machine_fingerprint,
@@ -96,6 +104,43 @@ class PlanResponse:
     def recommendation(self) -> PartitioningRecommendation:
         """The best plan."""
         return self.recommendations[0]
+
+
+@dataclass
+class GraphPlanResponse:
+    """One served joint graph-planning answer.
+
+    Field-compatible with :class:`PlanResponse` everywhere the serving
+    telemetry looks (``signature.key()``, outcome flags, timings,
+    ``search_stats``), so graph requests flow through the same outcome
+    counters, latency histograms, and request-log records as single-op ones.
+    """
+
+    signature: GraphSignature
+    #: The chosen recommendation per op, aligned with ``graph.ops``.
+    recommendations: List[PartitioningRecommendation]
+    #: The (bucketed) graph the joint plan was computed for.
+    graph: Optional[OpGraph]
+    #: Chosen candidate index per op (into each op's layout lattice).
+    assignment: Tuple[int, ...]
+    #: End-to-end modelled makespan of the joint assignment.
+    makespan: float
+    #: Makespan of the per-op greedy baseline (every op's isolated winner).
+    greedy_makespan: float
+    #: Which solver produced the assignment (chain DP or branch-and-bound).
+    method: str
+    #: True when the answer came from the plan cache (or warm-start store).
+    cache_hit: bool
+    #: True when this request waited on an identical in-flight computation.
+    coalesced: bool
+    #: Wall-clock seconds this request spent being answered.
+    planning_time: float
+    #: Age in seconds of the served plan at serve time.
+    plan_age: float = 0.0
+    #: True when a grace-window (stale-while-revalidate) entry was served.
+    stale: bool = False
+    #: Accumulated per-op search bookkeeping; ``None`` unless computed here.
+    search_stats: Optional[SearchStats] = None
 
 
 @dataclass
@@ -153,17 +198,22 @@ class _Telemetry:
     registry lookup per request.
     """
 
-    __slots__ = ("registry", "tracer", "request_log", "worker_index",
+    __slots__ = ("registry", "tracer", "request_log", "worker_index", "clock",
                  "_requests", "_latency", "_phase")
 
     _OUTCOMES = ("hit", "stale", "computed", "coalesced")
     _PHASES = ("opgen", "bound", "refine", "simulate")
 
-    def __init__(self, metrics, tracer, request_log, worker_index: int) -> None:
+    def __init__(self, metrics, tracer, request_log, worker_index: int,
+                 clock=time.time) -> None:
         self.registry = metrics if metrics is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.request_log = request_log
         self.worker_index = worker_index
+        # The service's injected clock: request-log timestamps must tick on
+        # the same clock as TTL/grace/plan-age accounting, or fake-clock
+        # replays log wall-clock times the cache state never saw.
+        self.clock = clock
         self._requests = {
             outcome: self.registry.counter(
                 "repro_planner_requests_total",
@@ -200,7 +250,7 @@ class _Telemetry:
                 self._phase[phase].inc(seconds)
         if self.request_log is not None:
             self.request_log.append(RequestRecord(
-                ts=time.time(),
+                ts=self.clock(),
                 signature=response.signature.key(),
                 workload=workload_name,
                 outcome=outcome,
@@ -271,7 +321,7 @@ class PlannerService:
         self._telemetry: Optional[_Telemetry] = None
         if metrics is not None or tracer is not None or request_log is not None:
             self._telemetry = _Telemetry(metrics, tracer, request_log,
-                                         worker_index)
+                                         worker_index, clock=self.clock)
         self._tracer = (self._telemetry.tracer if self._telemetry is not None
                         else NULL_TRACER)
         self._rollup: Optional[Rollup] = None
@@ -487,6 +537,172 @@ class PlannerService:
                             recommendations=list(entry.recommendations),
                             cache_hit=False, coalesced=False,
                             planning_time=elapsed, search_stats=search_stats)
+
+    def graph_signature_for(self, graph: OpGraph,
+                            lattice_size: Optional[int] = None) -> GraphSignature:
+        """Canonical signature of one joint graph-planning request.
+
+        Each op buckets exactly like a single-op request (with the lattice
+        size folded into the per-op options digest, so plans computed under
+        different lattice widths never alias); the edge structure rides
+        alongside.  Structurally identical graphs share a cache entry
+        regardless of their display names.
+        """
+        effective = DEFAULT_LATTICE_SIZE if lattice_size is None else lattice_size
+        return GraphSignature(
+            ops=tuple(self.signature_for(op_workload(op), top_k=effective)
+                      for op in graph.ops),
+            edges=tuple((edge.src, edge.dst, edge.operand)
+                        for edge in graph.edges),
+            name=graph.name,
+        )
+
+    def plan_graph(self, graph: OpGraph, *,
+                   lattice_size: Optional[int] = None) -> GraphPlanResponse:
+        """Serve one joint graph-planning request (cache -> single-flight -> solve).
+
+        Same serving discipline as :meth:`plan` — memoized on the graph
+        signature, coalesced across concurrent identical requests, recorded
+        to the metrics registry / request log / tracer when observability is
+        enabled (span ``planner.plan_graph``).
+        """
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self._plan_graph(graph, lattice_size=lattice_size)
+        with telemetry.tracer.span("planner.plan_graph",
+                                   graph=graph.name,
+                                   ops=len(graph.ops)) as span:
+            response = self._plan_graph(graph, lattice_size=lattice_size)
+            span.set(signature=response.signature.key(),
+                     outcome=_outcome_of(response),
+                     method=response.method)
+            telemetry.record(response, graph.name)
+        return response
+
+    def _graph_response(self, signature: GraphSignature, entry: GraphPlanEntry,
+                        *, cache_hit: bool, coalesced: bool,
+                        planning_time: float, plan_age: float = 0.0,
+                        stale: bool = False,
+                        search_stats: Optional[SearchStats] = None,
+                        ) -> GraphPlanResponse:
+        """Assemble the served response from a (new or cached) graph entry."""
+        return GraphPlanResponse(
+            signature=signature,
+            recommendations=list(entry.recommendations),
+            graph=entry.graph,
+            assignment=entry.assignment,
+            makespan=entry.makespan,
+            greedy_makespan=entry.greedy_makespan,
+            method=entry.method,
+            cache_hit=cache_hit,
+            coalesced=coalesced,
+            planning_time=planning_time,
+            plan_age=plan_age,
+            stale=stale,
+            search_stats=search_stats,
+        )
+
+    def _plan_graph(self, graph: OpGraph, *,
+                    lattice_size: Optional[int] = None) -> GraphPlanResponse:
+        started = time.perf_counter()
+        effective = DEFAULT_LATTICE_SIZE if lattice_size is None else lattice_size
+        signature = self.graph_signature_for(graph, effective)
+        key = signature.key()
+
+        leader = False
+        flight: Optional[_InFlight] = None
+        with self._lock:
+            self._stats.requests += 1
+            found = self.cache.get_for_serving(key)
+            if found is None:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+        # Note: the refresher's request observer is deliberately not fed —
+        # it refreshes single-op ProblemSignatures and cannot re-plan a
+        # graph key; graph entries renew through the foreground path only.
+        if found is not None:
+            entry, plan_age, stale = found
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._stats.cache_hits += 1
+                if stale:
+                    self._stats.stale_hits += 1
+                self._stats.total_planning_time += elapsed
+                if elapsed > self._stats.max_planning_time:
+                    self._stats.max_planning_time = elapsed
+            return self._graph_response(signature, entry, cache_hit=True,
+                                        coalesced=False,
+                                        planning_time=elapsed,
+                                        plan_age=plan_age, stale=stale)
+
+        assert flight is not None
+        if not leader:
+            flight.event.wait()
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._stats.coalesced_requests += 1
+                self._stats.total_planning_time += elapsed
+                if elapsed > self._stats.max_planning_time:
+                    self._stats.max_planning_time = elapsed
+            if flight.error is not None:
+                raise flight.error
+            assert flight.entry is not None
+            return self._graph_response(signature, flight.entry,
+                                        cache_hit=False, coalesced=True,
+                                        planning_time=elapsed)
+
+        search_stats: Optional[SearchStats] = None
+        try:
+            # Plan for the bucket-corner graph, not the raw request — the
+            # same representative discipline as single-op serving, so every
+            # member of the bucket gets one deterministic joint plan.
+            planning_graph = signature.representative_graph()
+            plan, search_stats = plan_graph_layouts(
+                self.machine,
+                planning_graph,
+                lattice_size=effective,
+                memory_budget_bytes=self.memory_budget_bytes,
+                schemes=self.schemes,
+                replication_factors=self.replication_factors,
+                stationary_options=self.stationary_options,
+                itemsize=self.itemsize,
+                config=self.config,
+                prune=self.prune,
+                tracer=self._tracer,
+            )
+            entry = GraphPlanEntry.from_plan(
+                plan,
+                num_simulated=search_stats.num_simulated,
+                num_pruned=search_stats.num_pruned,
+                fingerprint=self.cost_model_fingerprint,
+            )
+            self.cache.put(key, entry)
+            flight.entry = entry
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+
+        if self.autosave and self.store_path is not None:
+            self.cache.save(self.store_path)
+
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._stats.plans_computed += 1
+            self._stats.candidates_simulated += search_stats.num_simulated
+            self._stats.candidates_pruned += search_stats.num_pruned
+            self._stats.total_planning_time += elapsed
+            if elapsed > self._stats.max_planning_time:
+                self._stats.max_planning_time = elapsed
+        return self._graph_response(signature, entry, cache_hit=False,
+                                    coalesced=False, planning_time=elapsed,
+                                    search_stats=search_stats)
 
     def plan_many(self, workloads: Sequence[Workload], *,
                   top_k: Optional[int] = None) -> List[PlanResponse]:

@@ -166,3 +166,52 @@ class ProblemSignature:
         """The bucket's canonical workload (what a fresh plan is computed for)."""
         return Workload(name=f"{name}_{self.m}x{self.n}x{self.k}",
                         m=self.m, n=self.n, k=self.k, structure=self.structure)
+
+
+@dataclass(frozen=True)
+class GraphSignature:
+    """Canonical identity of one joint graph-planning request.
+
+    An ordered tuple of per-op :class:`ProblemSignature` (each bucketed and
+    stamped with the machine/options fingerprints exactly like a single-op
+    request) plus the graph's edge structure.  Bucketing is per-dimension and
+    deterministic, so dimensions that matched raw (the producer-output /
+    consumer-operand constraint :class:`repro.core.graph.OpGraph` validates)
+    still match at the bucket corner — the representative graph revalidates.
+
+    The graph's display name is deliberately **excluded** from :meth:`key`:
+    two structurally identical chains share one cached joint plan regardless
+    of what the caller named them.
+    """
+
+    #: Per-op signatures, indexed like the graph's ops.
+    ops: Tuple[ProblemSignature, ...]
+    #: Edge structure as ``(src, dst, operand)`` triples.
+    edges: Tuple[Tuple[int, int, str], ...]
+    #: Display name of the graph (telemetry only; not part of the key).
+    name: str = "graph"
+
+    def key(self) -> str:
+        """Stable cache-store key: the op keys joined with the edge tokens."""
+        op_part = ";".join(sig.key() for sig in self.ops)
+        edge_part = ",".join(f"{src}>{dst}:{operand}"
+                             for src, dst, operand in self.edges)
+        return f"graph|{op_part}|{edge_part}"
+
+    def representative_graph(self):
+        """The bucket-corner :class:`~repro.core.graph.OpGraph` to plan for.
+
+        Rebuilds the graph from the bucketed per-op dimensions with the
+        original edges; construction re-runs the full shape/acyclicity
+        validation, which the deterministic bucketing guarantees still holds.
+        """
+        from repro.core.graph import GraphEdge, GraphOp, OpGraph
+
+        ops = tuple(
+            GraphOp(name=f"op{i}_{sig.m}x{sig.n}x{sig.k}",
+                    m=sig.m, n=sig.n, k=sig.k)
+            for i, sig in enumerate(self.ops)
+        )
+        edges = tuple(GraphEdge(src=src, dst=dst, operand=operand)
+                      for src, dst, operand in self.edges)
+        return OpGraph(name=self.name, ops=ops, edges=edges)

@@ -20,12 +20,15 @@ from repro.serve.protocol import (
     PROTOCOL_VERSION,
     FrameDecoder,
     ProtocolError,
+    RemoteGraphPlanResponse,
     RemotePlanResponse,
     encode_frame,
     error_response,
+    graph_plan_response_payload,
     ok_response,
     metrics_request,
     ping_request,
+    plan_graph_request,
     plan_request,
     plan_response_payload,
     recv_message,
@@ -41,12 +44,15 @@ __all__ = [
     "PROTOCOL_VERSION",
     "FrameDecoder",
     "ProtocolError",
+    "RemoteGraphPlanResponse",
     "RemotePlanResponse",
     "encode_frame",
     "error_response",
+    "graph_plan_response_payload",
     "ok_response",
     "metrics_request",
     "ping_request",
+    "plan_graph_request",
     "plan_request",
     "plan_response_payload",
     "recv_message",

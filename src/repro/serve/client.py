@@ -23,7 +23,7 @@ from typing import Dict, Optional, Tuple, Union
 from repro.bench.workloads import Workload
 from repro.obs.tracing import current_span_id, current_trace_id
 from repro.serve import protocol
-from repro.serve.protocol import RemotePlanResponse
+from repro.serve.protocol import RemoteGraphPlanResponse, RemotePlanResponse
 from repro.serve.stats import WorkerStats
 
 Address = Union[str, Tuple[str, int]]
@@ -214,6 +214,40 @@ class PlanClient:
             result = self._request(
                 protocol.plan_request(workload, top_k, trace=trace))
             response = RemotePlanResponse.from_dict(result)
+            span.set(worker=response.worker,
+                     outcome=("hit" if response.cache_hit else
+                              "coalesced" if response.coalesced
+                              else "computed"))
+            if response.spans:
+                tracer.absorb(response.spans)
+        return response
+
+    def plan_graph(self, graph, *,
+                   lattice_size: Optional[int] = None) -> RemoteGraphPlanResponse:
+        """Request a joint layout plan for an op graph (protocol 1.3).
+
+        Same pooling/retry/tracing discipline as :meth:`plan`; the traced
+        request runs inside a ``client.plan_graph`` span.
+
+        Args:
+            graph: the :class:`repro.core.graph.OpGraph` to plan jointly.
+            lattice_size: per-op layout candidates the joint planner weighs
+                (server default if ``None``).
+
+        Returns:
+            The joint plan — chosen per-op layouts, assignment, joint and
+            greedy makespans — plus which worker answered.
+        """
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled:
+            result = self._request(protocol.plan_graph_request(graph, lattice_size))
+            return RemoteGraphPlanResponse.from_dict(result)
+        with tracer.span("client.plan_graph", graph=graph.name) as span:
+            trace = {"trace_id": current_trace_id(),
+                     "parent_span_id": current_span_id()}
+            result = self._request(
+                protocol.plan_graph_request(graph, lattice_size, trace=trace))
+            response = RemoteGraphPlanResponse.from_dict(result)
             span.set(worker=response.worker,
                      outcome=("hit" if response.cache_hit else
                               "coalesced" if response.coalesced

@@ -19,6 +19,9 @@ Requests are objects with an ``"op"`` discriminator:
   client's tracing context; a tracing-enabled worker adopts it and returns
   its recorded spans in the response payload (``"spans"``), so one request
   renders as a single cross-process timeline
+* ``{"op": "plan_graph", "graph": <OpGraph.to_dict()>, "lattice_size":
+  <int|null>}`` — joint layout planning over an op chain/DAG (protocol 1.3);
+  accepts the same optional ``"trace"`` context as ``plan``
 * ``{"op": "ping"}`` — identify the worker owning this connection (the reply
   carries the worker's :data:`PROTOCOL_VERSION`)
 * ``{"op": "stats"}`` — that worker's serving/cache counters
@@ -61,8 +64,10 @@ from repro.planner.service import PlanResponse
 #: request field, the ``metrics`` op, and the ``plan_age``/``trace_id``/
 #: ``spans`` response fields; 1.2 added the ``stale`` response flag (a plan
 #: served from an expired-but-in-grace cache entry while a background
-#: refresh recomputes it).  All additive — 1.x peers interoperate.
-PROTOCOL_VERSION = (1, 2)
+#: refresh recomputes it); 1.3 added the ``plan_graph`` op (joint layout
+#: planning over an op chain/DAG, carrying the graph as
+#: ``OpGraph.to_dict()``).  All additive — 1.x peers interoperate.
+PROTOCOL_VERSION = (1, 3)
 
 #: Frame header: one network-order unsigned 32-bit payload length.
 HEADER = struct.Struct("!I")
@@ -235,6 +240,24 @@ def plan_request(workload: Workload, top_k: Optional[int] = None,
     return message
 
 
+def plan_graph_request(graph, lattice_size: Optional[int] = None,
+                       trace: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Build the ``plan_graph`` request for one op graph (protocol 1.3).
+
+    Args:
+        graph: the :class:`repro.core.graph.OpGraph` to plan jointly.
+        lattice_size: per-op layout candidates to consider (``None``: server
+            default).
+        trace: optional tracing context to propagate, exactly as in
+            :func:`plan_request`.
+    """
+    message: Dict[str, object] = {"op": "plan_graph", "graph": graph.to_dict(),
+                                  "lattice_size": lattice_size}
+    if trace is not None:
+        message["trace"] = trace
+    return message
+
+
 def ping_request() -> Dict[str, object]:
     """Build the ``ping`` request (worker identification / liveness)."""
     return {"op": "ping"}
@@ -320,6 +343,104 @@ class RemotePlanResponse:
             trace_id=str(trace_id) if trace_id is not None else None,
             spans=list(payload.get("spans") or []),  # type: ignore[arg-type]
         )
+
+
+@dataclass
+class RemoteGraphPlanResponse:
+    """A served joint graph plan as seen by the client (protocol 1.3).
+
+    Mirrors :class:`repro.planner.service.GraphPlanResponse` — the chosen
+    per-op recommendations, the joint assignment, and the joint-vs-greedy
+    makespans — plus the process-boundary extras (worker index, pid,
+    signature key, recorded spans).
+    """
+
+    #: The chosen recommendation per op, in op order.
+    recommendations: List[PartitioningRecommendation]
+    signature_key: str
+    #: Chosen candidate index per op (into each op's layout lattice).
+    assignment: List[int]
+    #: End-to-end modelled makespan of the joint assignment.
+    makespan: float
+    #: Makespan of the per-op greedy baseline.
+    greedy_makespan: float
+    #: Which solver produced the assignment (chain DP or branch-and-bound).
+    method: str
+    cache_hit: bool
+    coalesced: bool
+    planning_time: float
+    num_simulated: int
+    num_pruned: int
+    worker: int
+    pid: int
+    #: Age in seconds of the served plan at serve time.
+    plan_age: float = 0.0
+    #: True when a grace-window (stale-while-revalidate) entry was served.
+    stale: bool = False
+    #: Trace id the worker served under (``None`` when tracing was off).
+    trace_id: Optional[str] = None
+    #: Wire-form span dicts the worker recorded for this request.
+    spans: List[Dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RemoteGraphPlanResponse":
+        """Rebuild from the wire form of :func:`graph_plan_response_payload`."""
+        trace_id = payload.get("trace_id")
+        return cls(
+            recommendations=[recommendation_from_dict(item)
+                             for item in payload["recommendations"]],  # type: ignore[union-attr]
+            signature_key=str(payload["signature_key"]),
+            assignment=[int(x) for x in payload.get("assignment", [])],  # type: ignore[union-attr]
+            makespan=float(payload.get("makespan", 0.0)),  # type: ignore[arg-type]
+            greedy_makespan=float(payload.get("greedy_makespan", 0.0)),  # type: ignore[arg-type]
+            method=str(payload.get("method", "")),
+            cache_hit=bool(payload["cache_hit"]),
+            coalesced=bool(payload["coalesced"]),
+            planning_time=float(payload["planning_time"]),  # type: ignore[arg-type]
+            num_simulated=int(payload.get("num_simulated", 0)),  # type: ignore[arg-type]
+            num_pruned=int(payload.get("num_pruned", 0)),  # type: ignore[arg-type]
+            worker=int(payload.get("worker", -1)),  # type: ignore[arg-type]
+            pid=int(payload.get("pid", 0)),  # type: ignore[arg-type]
+            plan_age=float(payload.get("plan_age", 0.0)),  # type: ignore[arg-type]
+            stale=bool(payload.get("stale", False)),
+            trace_id=str(trace_id) if trace_id is not None else None,
+            spans=list(payload.get("spans") or []),  # type: ignore[arg-type]
+        )
+
+
+def graph_plan_response_payload(response, worker: int, pid: int,
+                                trace_id: Optional[str] = None,
+                                spans: Optional[List[Dict[str, object]]] = None,
+                                ) -> Dict[str, object]:
+    """Wire form of one :class:`~repro.planner.service.GraphPlanResponse`.
+
+    The same shape discipline as :func:`plan_response_payload`: optional
+    tracing fields stay off the wire when absent, and every numeric field
+    defaults cleanly for forward compatibility.
+    """
+    stats = response.search_stats
+    payload: Dict[str, object] = {
+        "recommendations": [recommendation_to_dict(r) for r in response.recommendations],
+        "signature_key": response.signature.key(),
+        "assignment": list(response.assignment),
+        "makespan": response.makespan,
+        "greedy_makespan": response.greedy_makespan,
+        "method": response.method,
+        "cache_hit": response.cache_hit,
+        "coalesced": response.coalesced,
+        "planning_time": response.planning_time,
+        "num_simulated": stats.num_simulated if stats is not None else 0,
+        "num_pruned": stats.num_pruned if stats is not None else 0,
+        "worker": worker,
+        "pid": pid,
+        "plan_age": response.plan_age,
+        "stale": response.stale,
+    }
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    if spans is not None:
+        payload["spans"] = spans
+    return payload
 
 
 def plan_response_payload(response: PlanResponse, worker: int, pid: int,

@@ -47,6 +47,7 @@ from multiprocessing import reduction
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.workloads import Workload
+from repro.core.graph import OpGraph
 from repro.obs.metrics import MetricsRegistry, empty_snapshot, merge_snapshots
 from repro.obs.reqlog import RequestLog
 from repro.obs.tracing import Tracer
@@ -743,6 +744,25 @@ def _dispatch(index: int, service: PlannerService,
             response = service.plan(workload, top_k=top_k)
             return protocol.ok_response(
                 protocol.plan_response_payload(response, index, os.getpid()))
+        if op == "plan_graph":
+            graph = OpGraph.from_dict(message["graph"])  # type: ignore[arg-type]
+            raw_lattice = message.get("lattice_size")
+            lattice = None if raw_lattice is None else int(raw_lattice)  # type: ignore[arg-type]
+            trace = message.get("trace")
+            if tracer is not None and isinstance(trace, dict):
+                trace_id = str(trace.get("trace_id") or "")
+                parent = trace.get("parent_span_id")
+                with tracer.remote_context(
+                        trace_id, str(parent) if parent is not None else None):
+                    with tracer.span("worker.plan_graph", worker=index):
+                        response = service.plan_graph(graph,
+                                                      lattice_size=lattice)
+                return protocol.ok_response(protocol.graph_plan_response_payload(
+                    response, index, os.getpid(), trace_id=trace_id,
+                    spans=tracer.drain(trace_id)))
+            response = service.plan_graph(graph, lattice_size=lattice)
+            return protocol.ok_response(
+                protocol.graph_plan_response_payload(response, index, os.getpid()))
         if op == "ping":
             return protocol.ok_response({"worker": index, "pid": os.getpid(),
                                          "protocol": list(protocol.PROTOCOL_VERSION)})

@@ -20,12 +20,15 @@ Quickstart — record a trace of a real execution::
 
 from repro.sim.engine import EventEngine
 from repro.sim.events import EventKind, ScheduledEvent
+from repro.sim.graphtime import GraphTiming, dag_makespan
 from repro.sim.trace import InMemoryTraceRecorder, TraceRecorder
 
 __all__ = [
     "EventEngine",
     "EventKind",
     "ScheduledEvent",
+    "GraphTiming",
+    "dag_makespan",
     "InMemoryTraceRecorder",
     "TraceRecorder",
     "BatchEvaluator",

@@ -1,0 +1,88 @@
+"""Critical-path timing of workload-level op DAGs.
+
+The graph planner scores a joint layout assignment as the makespan of the op
+DAG where every node costs its op's simulated time and every edge delays its
+consumer by the priced reshard.  This module is that one scheduling rule —
+kept in the simulation layer so the planner's dynamic program, its
+branch-and-bound bound, and the exhaustive test reference all price an
+assignment through the *same* function and can never drift apart.
+
+Semantics: an op becomes ready when every producer feeding it has finished
+and its output has been resharded onto the consumer's expected layout;
+independent ops overlap (critical-path/optimistic model).  On a linear chain
+this reduces exactly to ``sum(op times) + sum(edge times)``, which is the
+sequential replay a chain actually executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class GraphTiming:
+    """Makespan plus per-op finish times for one scored assignment."""
+
+    #: Modelled completion time of each op, indexed like the graph's ops.
+    finish: Tuple[float, ...]
+    #: Completion time of the whole DAG (the slowest sink's finish).
+    makespan: float
+
+
+def dag_makespan(num_ops: int, edges: Sequence[Tuple[int, int]],
+                 op_times: Sequence[float],
+                 edge_times: Sequence[float]) -> GraphTiming:
+    """Critical-path makespan of a weighted op DAG.
+
+    Args:
+        num_ops: number of ops (nodes), indexed ``0..num_ops-1``.
+        edges: ``(src, dst)`` dependency pairs (``dst`` consumes ``src``).
+        op_times: per-op duration, indexed by op.
+        edge_times: per-edge reshard delay, aligned with ``edges``.
+
+    Returns:
+        The per-op finish times and overall makespan under the critical-path
+        model: ``ready(op) = max(finish(src) + edge_time)`` over incoming
+        edges (0.0 for sources), ``finish(op) = ready(op) + op_time``.
+
+    Raises:
+        ValueError: on mismatched lengths, out-of-range endpoints, negative
+            times, or a cyclic edge set.
+    """
+    if len(op_times) != num_ops:
+        raise ValueError(f"expected {num_ops} op times, got {len(op_times)}")
+    if len(edge_times) != len(edges):
+        raise ValueError(f"expected {len(edges)} edge times, got {len(edge_times)}")
+    if any(t < 0 for t in op_times) or any(t < 0 for t in edge_times):
+        raise ValueError("op and edge times must be non-negative")
+    indegree = [0] * num_ops
+    outgoing: Dict[int, List[int]] = {}
+    for position, (src, dst) in enumerate(edges):
+        if not (0 <= src < num_ops) or not (0 <= dst < num_ops):
+            raise ValueError(f"edge ({src}, {dst}) outside 0..{num_ops - 1}")
+        indegree[dst] += 1
+        outgoing.setdefault(src, []).append(position)
+    ready_time = [0.0] * num_ops
+    finish = [0.0] * num_ops
+    frontier = sorted(i for i in range(num_ops) if indegree[i] == 0)
+    visited = 0
+    while frontier:
+        node = frontier.pop(0)
+        visited += 1
+        finish[node] = ready_time[node] + float(op_times[node])
+        for position in outgoing.get(node, ()):
+            _, dst = edges[position]
+            arrival = finish[node] + float(edge_times[position])
+            if arrival > ready_time[dst]:
+                ready_time[dst] = arrival
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                insert_at = 0
+                while insert_at < len(frontier) and frontier[insert_at] < dst:
+                    insert_at += 1
+                frontier.insert(insert_at, dst)
+    if visited != num_ops:
+        raise ValueError("edge set contains a cycle")
+    return GraphTiming(finish=tuple(finish),
+                       makespan=max(finish) if finish else 0.0)

@@ -1,0 +1,102 @@
+"""Unit tests for the workload-level op graph (GraphOp/GraphEdge/OpGraph)."""
+
+import pytest
+
+from repro.core.graph import (
+    GraphEdge,
+    GraphOp,
+    OpGraph,
+    attention_chain,
+    matmul_chain,
+    mlp_chain,
+)
+
+
+def chain3():
+    return matmul_chain("c", (GraphOp("x", 8, 4, 6),
+                              GraphOp("y", 8, 10, 4),
+                              GraphOp("z", 8, 2, 10)))
+
+
+class TestGraphOp:
+    def test_shapes(self):
+        op = GraphOp("op", m=8, n=4, k=6)
+        assert op.output_shape == (8, 4)
+        assert op.operand_shape("A") == (8, 6)
+        assert op.operand_shape("B") == (6, 4)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            GraphOp("bad", m=0, n=4, k=6)
+
+    def test_rejects_unknown_operand(self):
+        with pytest.raises(ValueError):
+            GraphOp("op", 8, 4, 6).operand_shape("C")
+
+    def test_round_trip(self):
+        op = GraphOp("op", m=8, n=4, k=6)
+        assert GraphOp.from_dict(op.to_dict()) == op
+
+
+class TestOpGraphValidation:
+    def test_chain_builder_links_outputs_to_a(self):
+        graph = chain3()
+        assert graph.is_chain
+        assert [e.operand for e in graph.edges] == ["A", "A"]
+        assert graph.topological_order() == [0, 1, 2]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="produces"):
+            OpGraph(name="bad",
+                    ops=(GraphOp("x", 8, 4, 6), GraphOp("y", 9, 10, 4)),
+                    edges=(GraphEdge(src=0, dst=1, operand="A"),))
+
+    def test_cycle_rejected(self):
+        ops = (GraphOp("x", 8, 8, 8), GraphOp("y", 8, 8, 8))
+        edges = (GraphEdge(0, 1, "A"), GraphEdge(1, 0, "A"))
+        with pytest.raises(ValueError, match="cycle"):
+            OpGraph(name="loop", ops=ops, edges=edges)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            OpGraph(name="self", ops=(GraphOp("x", 8, 8, 8),),
+                    edges=(GraphEdge(0, 0, "A"),))
+
+    def test_duplicate_operand_slot_rejected(self):
+        ops = (GraphOp("x", 8, 8, 8), GraphOp("y", 8, 8, 8),
+               GraphOp("z", 8, 8, 8))
+        edges = (GraphEdge(0, 2, "A"), GraphEdge(1, 2, "A"))
+        with pytest.raises(ValueError, match="operand"):
+            OpGraph(name="dup", ops=ops, edges=edges)
+
+    def test_dag_with_fanout_is_not_a_chain(self):
+        ops = (GraphOp("p", 8, 8, 8), GraphOp("q", 8, 8, 8),
+               GraphOp("r", 8, 4, 8))
+        edges = (GraphEdge(0, 1, "A"), GraphEdge(0, 2, "A"))
+        graph = OpGraph(name="fan", ops=ops, edges=edges)
+        assert not graph.is_chain
+        assert graph.topological_order() == [0, 1, 2]
+        assert [e.dst for e in graph.successors(0)] == [1, 2]
+        assert [e.src for e in graph.predecessors(1)] == [0]
+
+    def test_round_trip(self):
+        graph = chain3()
+        assert OpGraph.from_dict(graph.to_dict()) == graph
+
+
+class TestChainBuilders:
+    def test_mlp_chain_shapes(self):
+        graph = mlp_chain(32, 16, ratio=4)
+        assert graph.is_chain
+        op1, op2 = graph.ops
+        assert (op1.m, op1.n, op1.k) == (32, 64, 16)
+        assert (op2.m, op2.n, op2.k) == (32, 16, 64)
+        assert op1.output_shape == op2.operand_shape("A")
+
+    def test_attention_chain_shapes(self):
+        graph = attention_chain(64, 16, 48)
+        assert graph.is_chain
+        qkv, score, value = graph.ops
+        assert qkv.output_shape == score.operand_shape("A")
+        assert score.output_shape == value.operand_shape("A")
+        assert value.output_shape == (64, 16)

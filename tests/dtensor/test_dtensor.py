@@ -110,3 +110,30 @@ class TestRedistribute:
         small = DTensor.symbolic(mesh, (256, 256), Shard(0)).redistribute_cost(Replicate())
         large = DTensor.symbolic(mesh, (4096, 4096), Shard(0)).redistribute_cost(Replicate())
         assert large.time > small.time
+
+
+class TestSmallTensorAllToAll:
+    def test_small_shard_to_shard_costs_more_than_nothing(self, mesh, dense):
+        """Regression: ``nbytes // size**2`` floored the per-pair payload,
+        pricing any tensor under ``size^2`` bytes as a zero-cost reshard and
+        truncating everything else.  The modelled per-pair payload of this
+        384-byte tensor is 384/16 = 24 bytes and must price > 0."""
+        tensor = DTensor.from_dense(mesh, dense, Shard(0))
+        cost = tensor.redistribute_cost(Shard(1))
+        assert cost.collective == "all_to_all"
+        assert cost.time > 0.0
+
+    def test_tiny_symbolic_shard_to_shard_is_positive(self, mesh):
+        # 2x2 float32 = 16 bytes == size^2 on 4 devices: the old floor
+        # division priced exactly this boundary (and anything smaller) at 0.
+        tiny = DTensor.symbolic(mesh, (2, 2), Shard(0), dtype=np.float32)
+        cost = tiny.redistribute_cost(Shard(1))
+        assert cost.time > 0.0
+        smaller = DTensor.symbolic(mesh, (2, 1), Shard(0), dtype=np.float32)
+        assert smaller.redistribute_cost(Shard(1)).time > 0.0
+
+    def test_all_to_all_time_scales_with_bytes(self, mesh):
+        small = DTensor.symbolic(mesh, (64, 64), Shard(0), dtype=np.float32)
+        large = DTensor.symbolic(mesh, (512, 512), Shard(0), dtype=np.float32)
+        assert large.redistribute_cost(Shard(1)).time > \
+            small.redistribute_cost(Shard(1)).time

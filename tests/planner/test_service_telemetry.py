@@ -9,6 +9,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.reqlog import RequestLog, iter_records
 from repro.obs.rollup import rollup_requests
 from repro.obs.tracing import Tracer
+from repro.core.graph import mlp_chain
 from repro.planner import PlannerService
 from repro.topology.machines import uniform_system
 
@@ -182,3 +183,59 @@ class TestAdaptiveFeedback:
         log.close()
         outcomes = [record.outcome for record in iter_records(log.path)]
         assert outcomes == ["computed", "stale"]
+
+    def test_request_log_timestamps_use_the_injected_clock(self, tmp_path):
+        """Regression: record ``ts`` must tick on the service clock, not
+        wall time — fake-clock replays otherwise log timestamps the cache's
+        TTL/plan-age accounting never saw."""
+        class Clock:
+            now = 5000.0
+
+            def __call__(self):
+                return self.now
+
+        clock = Clock()
+        log = RequestLog(str(tmp_path / "requests.jsonl"))
+        with PlannerService(MACHINE, request_log=log, clock=clock,
+                            **SERVICE_OPTIONS) as service:
+            service.plan(make_workload())
+            clock.now = 5123.0
+            service.plan(make_workload())
+        log.close()
+        records = list(iter_records(log.path))
+        assert [r.ts for r in records] == [5000.0, 5123.0]
+
+
+class TestGraphPlanTelemetry:
+    def test_graph_requests_share_the_serving_telemetry(self, telemetry):
+        service, registry, tracer, log = telemetry
+        graph = mlp_chain(96, 64)
+        cold = service.plan_graph(graph)
+        warm = service.plan_graph(graph)
+        assert not cold.cache_hit and warm.cache_hit
+
+        counters = registry.snapshot()["counters"]
+        assert counters['repro_planner_requests_total{outcome="computed"}'] == 1.0
+        assert counters['repro_planner_requests_total{outcome="hit"}'] == 1.0
+
+        spans = [s for s in tracer.spans() if s.name == "planner.plan_graph"]
+        assert [s.attributes["outcome"] for s in spans] == ["computed", "hit"]
+        assert spans[0].attributes["method"] == "chain_dp"
+        assert spans[0].attributes["signature"] == cold.signature.key()
+
+        records = list(iter_records(log.path))
+        assert [r.outcome for r in records] == ["computed", "hit"]
+        assert all(r.workload == graph.name for r in records)
+        assert all(r.signature == cold.signature.key() for r in records)
+        assert records[0].phases  # computed graph plans bill search phases
+
+    def test_graph_stats_count_requests_and_hits(self, telemetry):
+        service, _, _, _ = telemetry
+        graph = mlp_chain(96, 64)
+        service.plan_graph(graph)
+        service.plan_graph(graph)
+        stats = service.stats()
+        assert stats.requests == 2
+        assert stats.plans_computed == 1
+        assert stats.cache_hits == 1
+        assert stats.candidates_simulated > 0

@@ -1,0 +1,185 @@
+"""Property pins for the joint graph planner's solvers and edge pricing.
+
+Three families:
+
+1. **Chain DP exactness** — on synthetic lattices (random per-candidate op
+   times, random non-negative reshard tables) the DP's makespan equals the
+   exhaustive scan over every joint assignment, and never loses to the
+   all-greedy assignment.
+2. **Branch-and-bound exactness** — same exhaustive equality on small random
+   DAGs (the critical-path bound must stay admissible for any weight mix).
+3. **Edge-weight parity** — a DP transition weight in the planner's edge
+   tables equals :func:`repro.dist.redistribute.redistribution_cost` for the
+   same (producer output, consumer operand) layout pair on a real machine.
+
+Makespans are compared exactly: both solvers and the exhaustive reference
+price assignments through the same ``dag_makespan`` accumulation order, so
+any drift is a logic bug, not float noise.  Assignments are *not* compared —
+on exact ties the DP's backwards tie-break may legitimately pick a different
+minimizer than the exhaustive forward scan.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import GraphEdge, GraphOp, OpGraph, matmul_chain
+from repro.dist.matrix import DistributedMatrix
+from repro.dist.redistribute import redistribution_cost
+from repro.planner.graph import (
+    OpLattice,
+    _solve_chain_dp,
+    _solve_dag_branch_and_bound,
+    assignment_timing,
+    build_edge_tables,
+    candidate_layout,
+    exhaustive_joint_plan,
+    op_workload,
+)
+from repro.planner.search import search_partitionings
+from repro.runtime.runtime import Runtime
+from repro.topology.machines import uniform_system
+
+
+class FakeRec:
+    """Stand-in recommendation: the solvers only read ``simulated_time``."""
+
+    __slots__ = ("simulated_time",)
+
+    def __init__(self, simulated_time):
+        self.simulated_time = simulated_time
+
+
+def uniform_op(name):
+    return GraphOp(name, 8, 8, 8)
+
+
+times = st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def synthetic_chain(draw):
+    """A chain graph with random lattices and random edge tables."""
+    num_ops = draw(st.integers(min_value=1, max_value=3))
+    graph = matmul_chain("chain", [uniform_op(f"op{i}") for i in range(num_ops)])
+    widths = [draw(st.integers(min_value=1, max_value=6)) for _ in range(num_ops)]
+    lattices = [
+        OpLattice(op_workload(graph.ops[i]),
+                  tuple(FakeRec(draw(times)) for _ in range(widths[i])))
+        for i in range(num_ops)
+    ]
+    tables = [
+        [[draw(times) for _ in range(widths[edge.dst])]
+         for _ in range(widths[edge.src])]
+        for edge in graph.edges
+    ]
+    return graph, lattices, tables
+
+
+@st.composite
+def synthetic_dag(draw):
+    """A small random DAG (every op fed through its A slot, optional B fan-in)."""
+    num_ops = draw(st.integers(min_value=2, max_value=4))
+    ops = tuple(uniform_op(f"op{i}") for i in range(num_ops))
+    edges = []
+    for dst in range(1, num_ops):
+        src = draw(st.integers(min_value=0, max_value=dst - 1))
+        edges.append(GraphEdge(src, dst, "A"))
+        if dst >= 2 and draw(st.booleans()):
+            other = draw(st.integers(min_value=0, max_value=dst - 1))
+            edges.append(GraphEdge(other, dst, "B"))
+    graph = OpGraph(name="dag", ops=ops, edges=tuple(edges))
+    widths = [draw(st.integers(min_value=1, max_value=4)) for _ in range(num_ops)]
+    lattices = [
+        OpLattice(op_workload(ops[i]),
+                  tuple(FakeRec(draw(times)) for _ in range(widths[i])))
+        for i in range(num_ops)
+    ]
+    tables = [
+        [[draw(times) for _ in range(widths[edge.dst])]
+         for _ in range(widths[edge.src])]
+        for edge in graph.edges
+    ]
+    return graph, lattices, tables
+
+
+class TestChainDP:
+    @given(synthetic_chain())
+    @settings(max_examples=80, deadline=None)
+    def test_dp_makespan_equals_exhaustive(self, case):
+        graph, lattices, tables = case
+        _, dp_makespan = _solve_chain_dp(graph, lattices, tables)
+        _, best_makespan = exhaustive_joint_plan(graph, lattices, tables)
+        assert dp_makespan == best_makespan
+
+    @given(synthetic_chain())
+    @settings(max_examples=80, deadline=None)
+    def test_dp_assignment_prices_to_its_makespan(self, case):
+        graph, lattices, tables = case
+        assignment, makespan = _solve_chain_dp(graph, lattices, tables)
+        assert assignment_timing(graph, lattices, tables,
+                                 assignment).makespan == makespan
+
+    @given(synthetic_chain())
+    @settings(max_examples=80, deadline=None)
+    def test_dp_never_loses_to_greedy(self, case):
+        graph, lattices, tables = case
+        _, makespan = _solve_chain_dp(graph, lattices, tables)
+        greedy = [0] * len(graph.ops)
+        assert makespan <= assignment_timing(graph, lattices, tables,
+                                             greedy).makespan
+
+
+class TestBranchAndBound:
+    @given(synthetic_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_bnb_makespan_equals_exhaustive(self, case):
+        graph, lattices, tables = case
+        _, makespan, _ = _solve_dag_branch_and_bound(graph, lattices, tables)
+        _, best_makespan = exhaustive_joint_plan(graph, lattices, tables)
+        assert makespan == best_makespan
+
+    @given(synthetic_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_bnb_assignment_prices_to_its_makespan(self, case):
+        graph, lattices, tables = case
+        assignment, makespan, _ = _solve_dag_branch_and_bound(graph, lattices,
+                                                              tables)
+        assert assignment_timing(graph, lattices, tables,
+                                 assignment).makespan == makespan
+
+
+class TestEdgeWeightParity:
+    @given(
+        st.sampled_from([2, 4]),
+        st.sampled_from([64, 96, 128]),
+        st.sampled_from([48, 80, 256]),
+        st.sampled_from([32, 64, 192]),
+    )
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_table_weight_is_the_redistribution_cost(self, devices, m, n, k):
+        """tables[e][i][j] == redistribution_cost(C layout i -> operand j)."""
+        machine = uniform_system(devices)
+        graph = matmul_chain("pair", [GraphOp("p0", m, n, k),
+                                      GraphOp("p1", m, k, n)])
+        lattices = []
+        for op in graph.ops:
+            recs, _ = search_partitionings(machine, op_workload(op), top_k=3,
+                                           replication_factors=[1])
+            lattices.append(OpLattice(op_workload(op), tuple(recs)))
+        tables = build_edge_tables(machine, graph, lattices)
+        runtime = Runtime(machine=machine)
+        src_lat, dst_lat = lattices[0], lattices[1]
+        for i, src_rec in enumerate(src_lat.recommendations):
+            src_part, src_rep = candidate_layout(machine, src_lat.workload,
+                                                 src_rec, 2)
+            for j, dst_rec in enumerate(dst_lat.recommendations):
+                dst_part, dst_rep = candidate_layout(machine, dst_lat.workload,
+                                                     dst_rec, 0)
+                matrix = DistributedMatrix.create(
+                    runtime, (m, n), src_part, replication=src_rep,
+                    materialize=False)
+                cost = redistribution_cost(matrix, dst_part,
+                                           replication=dst_rep)
+                assert tables[0][i][j] == float(cost["modelled_time_s"])

@@ -208,3 +208,62 @@ class TestProtocolVersion11:
         assert remote.plan_age == 0.0
         assert remote.trace_id is None
         assert remote.spans == []
+
+
+class TestProtocolVersion13:
+    """Additive 1.3 op: joint graph planning over the same wire."""
+
+    def _served_graph_response(self):
+        from repro.core.graph import mlp_chain
+        from repro.planner import PlannerService
+        from repro.topology.machines import uniform_system
+
+        graph = mlp_chain(96, 64)
+        with PlannerService(uniform_system(2), replication_factors=[1]) as service:
+            return graph, service.plan_graph(graph)
+
+    def test_version_is_at_least_1_3(self):
+        assert protocol.PROTOCOL_VERSION >= (1, 3)
+
+    def test_plan_graph_request_shape(self):
+        from repro.core.graph import OpGraph, mlp_chain
+
+        graph = mlp_chain(96, 64)
+        request = protocol.plan_graph_request(graph, lattice_size=6)
+        assert request["op"] == "plan_graph" and request["lattice_size"] == 6
+        assert OpGraph.from_dict(request["graph"]) == graph
+        assert "trace" not in request  # untraced requests stay 1.3-minimal
+        traced = protocol.plan_graph_request(graph, trace={"trace_id": "t"})
+        assert traced["trace"] == {"trace_id": "t"}
+
+    def test_graph_response_payload_roundtrip(self):
+        import json
+
+        from repro.serve.protocol import RemoteGraphPlanResponse
+
+        graph, response = self._served_graph_response()
+        payload = protocol.graph_plan_response_payload(response, worker=2,
+                                                       pid=77)
+        remote = RemoteGraphPlanResponse.from_dict(json.loads(json.dumps(payload)))
+        assert remote.worker == 2 and remote.pid == 77
+        assert remote.signature_key == response.signature.key()
+        assert tuple(remote.assignment) == response.assignment
+        assert remote.makespan == response.makespan
+        assert remote.greedy_makespan == response.greedy_makespan
+        assert remote.method == response.method
+        assert remote.cache_hit == response.cache_hit
+        assert len(remote.recommendations) == len(graph.ops)
+        for wire, local in zip(remote.recommendations, response.recommendations):
+            assert wire.scheme.name == local.scheme.name
+            assert wire.simulated_time == local.simulated_time
+
+    def test_graph_response_tolerates_missing_optional_fields(self):
+        from repro.serve.protocol import RemoteGraphPlanResponse
+
+        _, response = self._served_graph_response()
+        payload = protocol.graph_plan_response_payload(response, worker=0, pid=1)
+        for key in ("plan_age", "stale", "trace_id", "spans"):
+            payload.pop(key, None)
+        remote = RemoteGraphPlanResponse.from_dict(payload)
+        assert remote.plan_age == 0.0 and remote.stale is False
+        assert remote.trace_id is None and remote.spans == []

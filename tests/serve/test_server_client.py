@@ -398,3 +398,47 @@ class TestBackgroundRefreshFleet:
     def test_fleet_without_refresh_options_reports_zero_refreshes(self, server):
         totals = server.aggregate_stats().totals
         assert totals.background_refreshes == 0
+
+
+class TestGraphServing:
+    """Protocol 1.3: joint graph planning over the fleet socket."""
+
+    def test_ping_advertises_protocol_1_3(self, client):
+        assert tuple(client.ping()["protocol"]) >= (1, 3)
+
+    def test_remote_plan_graph_matches_in_process_service(self, client):
+        from repro.core.graph import mlp_chain
+
+        graph = mlp_chain(96, 64)
+        with PlannerService(MACHINE, **SERVICE_OPTIONS) as service:
+            reference = service.plan_graph(graph)
+        remote = client.plan_graph(graph)
+        assert tuple(remote.assignment) == reference.assignment
+        assert remote.makespan == reference.makespan
+        assert remote.greedy_makespan == reference.greedy_makespan
+        assert remote.method == reference.method
+        assert remote.signature_key == reference.signature.key()
+        for wire, local in zip(remote.recommendations,
+                               reference.recommendations):
+            assert wire.scheme.name == local.scheme.name
+            assert wire.simulated_time == local.simulated_time
+
+    def test_repeat_graph_requests_hit_the_worker_cache(self, client):
+        from repro.core.graph import mlp_chain
+
+        graph = mlp_chain(112, 48)
+        cold = client.plan_graph(graph)
+        warm = client.plan_graph(graph)
+        if warm.worker == cold.worker:
+            assert warm.cache_hit
+        assert tuple(warm.assignment) == tuple(cold.assignment)
+        assert warm.makespan == cold.makespan
+
+    def test_lattice_size_override_travels(self, client):
+        from repro.core.graph import mlp_chain
+
+        graph = mlp_chain(96, 64)
+        narrow = client.plan_graph(graph, lattice_size=1)
+        # A width-1 lattice has no joint freedom: joint == greedy.
+        assert tuple(narrow.assignment) == (0, 0)
+        assert narrow.makespan == narrow.greedy_makespan

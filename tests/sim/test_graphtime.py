@@ -1,0 +1,59 @@
+"""Unit tests for the shared DAG schedule model (repro.sim.graphtime)."""
+
+import pytest
+
+from repro.sim.graphtime import GraphTiming, dag_makespan
+
+
+class TestDagMakespan:
+    def test_chain_reduces_to_sum(self):
+        timing = dag_makespan(
+            num_ops=3,
+            edges=[(0, 1), (1, 2)],
+            op_times=[1.0, 2.0, 3.0],
+            edge_times=[0.5, 0.25],
+        )
+        assert isinstance(timing, GraphTiming)
+        assert timing.makespan == pytest.approx(1.0 + 0.5 + 2.0 + 0.25 + 3.0)
+        assert timing.finish == (pytest.approx(1.0),
+                                 pytest.approx(3.5),
+                                 pytest.approx(6.75))
+
+    def test_diamond_takes_critical_path(self):
+        # 0 fans out to 1 (slow) and 2 (fast); 3 joins both.
+        timing = dag_makespan(
+            num_ops=4,
+            edges=[(0, 1), (0, 2), (1, 3), (2, 3)],
+            op_times=[1.0, 5.0, 1.0, 1.0],
+            edge_times=[0.0, 0.0, 0.5, 0.5],
+        )
+        # Critical path goes through op 1: 1 + 5 + 0.5 + 1.
+        assert timing.makespan == pytest.approx(7.5)
+        assert timing.finish[3] == timing.makespan
+
+    def test_independent_ops_overlap(self):
+        timing = dag_makespan(num_ops=2, edges=[],
+                              op_times=[4.0, 1.0], edge_times=[])
+        assert timing.makespan == pytest.approx(4.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dag_makespan(num_ops=2, edges=[(0, 1)],
+                         op_times=[1.0], edge_times=[0.0])
+        with pytest.raises(ValueError):
+            dag_makespan(num_ops=2, edges=[(0, 1)],
+                         op_times=[1.0, 1.0], edge_times=[])
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            dag_makespan(num_ops=1, edges=[], op_times=[-1.0], edge_times=[])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            dag_makespan(num_ops=2, edges=[(0, 5)],
+                         op_times=[1.0, 1.0], edge_times=[0.0])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError, match="cycle"):
+            dag_makespan(num_ops=2, edges=[(0, 1), (1, 0)],
+                         op_times=[1.0, 1.0], edge_times=[0.0, 0.0])
