@@ -1,0 +1,267 @@
+"""Fleet serving drift smoke: routed answers, crash resilience, accounting.
+
+Two scenarios, both fully deterministic and pinned by the committed snapshot
+at ``benchmarks/results/fleet_serving.json``:
+
+* **routing** — a three-server fleet behind a :class:`FleetClient`.  Every
+  workload's consistent-hash home endpoint is pinned (sha1 routing over
+  named endpoints is machine-independent), the routed winner must equal the
+  in-process :class:`PlannerService` reference (neither the process boundary
+  nor the fleet boundary may change a recommendation), and the immediate
+  repeat must hit the home server's warm cache.  Zero failovers allowed.
+
+* **crash** — one server whose worker 0 is killed mid-request by the
+  deterministic fault seam (:mod:`repro.serve.faults`).  Every request must
+  still be answered correctly (client transport retry → surviving worker),
+  i.e. **zero lost requests**, and the supervisor must restart the dead slot
+  exactly once (restart-count accounting via ``restart_counts()`` and
+  ``aggregate_stats().total_restarts``).
+
+CI runs ``--check`` on every push; run ``--write`` only for a deliberate
+cost-model, search, or routing change, and say so in the commit.
+
+Usage:
+    python benchmarks/bench_fleet_serving.py --check   # default
+    python benchmarks/bench_fleet_serving.py --write
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+_BENCH = os.path.dirname(os.path.abspath(__file__))
+if _BENCH not in sys.path:
+    sys.path.insert(0, _BENCH)
+
+from harness_common import check_snapshot_file, snapshot_cli, write_snapshot_file, write_result
+
+from repro.bench.workloads import attention_workload, mlp1_workload, mlp2_workload
+from repro.planner import PlannerService
+from repro.serve import (
+    Fault,
+    FaultPlan,
+    FleetClient,
+    PlanClient,
+    PlanServer,
+    RestartPolicy,
+)
+from repro.topology.machines import uniform_system
+
+SNAPSHOT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "fleet_serving.json"
+)
+RELATIVE_TOLERANCE = 1.0e-9
+
+_MACHINE_NAME = "uniform4"
+_SERVICE_OPTIONS = {"replication_factors": [1]}
+
+#: Named fleet members: names (not addresses) live on the hash ring, so the
+#: home endpoint of every workload is a stable, snapshot-pinnable fact.
+FLEET_NAMES = ("alpha", "beta", "gamma")
+
+#: Requests driven through the crash scenario (request 0 kills worker 0).
+CRASH_REQUESTS = 8
+
+
+def _machine():
+    return uniform_system(4)
+
+
+def _workloads():
+    return [attention_workload(128), attention_workload(256),
+            mlp1_workload(512), mlp2_workload(512)]
+
+
+def _reference(machine, workloads):
+    """The in-process answers every served plan must match."""
+    with PlannerService(machine, **_SERVICE_OPTIONS) as service:
+        return {workload.name: service.plan(workload).recommendation
+                for workload in workloads}
+
+
+def measure_routing() -> list:
+    """Serve every workload through a named three-server fleet; one record each."""
+    machine = _machine()
+    workloads = _workloads()
+    reference = _reference(machine, workloads)
+
+    records = []
+    servers = {}
+    try:
+        endpoints = {}
+        for name in FLEET_NAMES:
+            server = PlanServer(machine, num_workers=1,
+                                service_options=_SERVICE_OPTIONS)
+            servers[name] = server
+            endpoints[name] = server.start()
+        with FleetClient(endpoints, machine,
+                         service_options=_SERVICE_OPTIONS) as fleet:
+            for workload in workloads:
+                home = fleet.route(workload)
+                cold = fleet.plan(workload)
+                warm = fleet.plan(workload)
+                best = cold.recommendation
+                want = reference[workload.name]
+                if best.plan_key() != want.plan_key():
+                    raise AssertionError(
+                        f"routed plan deviates from in-process reference for "
+                        f"{workload.name}: {best} vs {want}")
+                if warm.recommendation.plan_key() != best.plan_key():
+                    raise AssertionError(
+                        f"warm repeat changed the answer for {workload.name}")
+                if fleet.route(workload) != home:
+                    raise AssertionError(
+                        f"routing is unstable for {workload.name}")
+                if not warm.cache_hit:
+                    raise AssertionError(
+                        f"warm repeat missed the home cache for {workload.name}")
+                records.append({
+                    "phase": "routing",
+                    "machine": _MACHINE_NAME,
+                    "workload": workload.name,
+                    "home": home,
+                    "scheme": best.scheme.name,
+                    "replication": list(best.replication),
+                    "stationary": best.stationary,
+                    "simulated_time": best.simulated_time,
+                    "percent_of_peak": best.percent_of_peak,
+                    "warm_hit": True,
+                    "lost": 0,
+                    "restarts": 0,
+                })
+            if fleet.failovers:
+                raise AssertionError(
+                    f"healthy fleet failed over {fleet.failovers} times")
+    finally:
+        for server in servers.values():
+            server.stop()
+    return records
+
+
+def measure_crash(requests: int = CRASH_REQUESTS) -> list:
+    """Kill worker 0 mid-request; every request must still be answered."""
+    machine = _machine()
+    workload = _workloads()[0]
+    want = _reference(machine, [workload])[workload.name]
+
+    server = PlanServer(
+        machine, num_workers=2, service_options=_SERVICE_OPTIONS,
+        restart_policy=RestartPolicy(backoff_base=0.01, backoff_cap=0.05),
+        fault_plan=FaultPlan([Fault("exit", worker=0)]),  # dies on request 0
+    )
+    answered = 0
+    try:
+        address = server.start()
+        with PlanClient(address, retries=2, retry_delay=0.05) as client:
+            for _ in range(requests):
+                response = client.plan(workload)
+                if response.recommendation.plan_key() != want.plan_key():
+                    raise AssertionError(
+                        f"post-crash answer deviates from reference: "
+                        f"{response.recommendation} vs {want}")
+                answered += 1
+        deadline = time.monotonic() + 10.0
+        while (server.restart_counts().get(0, 0) < 1
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        restarts = dict(server.restart_counts())
+        if restarts != {0: 1}:
+            raise AssertionError(
+                f"expected exactly one restart of worker 0, got {restarts}")
+        if server.aggregate_stats().total_restarts != 1:
+            raise AssertionError("aggregate restart accounting drifted")
+    finally:
+        server.stop()
+
+    return [{
+        "phase": "crash",
+        "machine": _MACHINE_NAME,
+        "workload": workload.name,
+        "home": "solo",
+        "scheme": want.scheme.name,
+        "replication": list(want.replication),
+        "stationary": want.stationary,
+        "simulated_time": want.simulated_time,
+        "percent_of_peak": want.percent_of_peak,
+        "warm_hit": True,
+        "lost": requests - answered,
+        "restarts": 1,
+    }]
+
+
+def compute_points() -> list:
+    """The full measurement grid, in a fixed order."""
+    return measure_routing() + measure_crash()
+
+
+def _key(record: dict) -> tuple:
+    return (record["phase"], record["machine"], record["workload"])
+
+
+def _winner(record: dict) -> tuple:
+    return (record["scheme"], tuple(record["replication"]), record["stationary"])
+
+
+def render(records: list) -> str:
+    """Human-readable fleet table: home endpoints, winners, fault accounting."""
+    lines = ["fleet serving: consistent-hash routing + crash resilience", ""]
+    lines.append(f"{'phase':<8} {'workload':<24} {'home':<6} "
+                 f"{'lost':>4} {'restarts':>8}  winner")
+    for record in records:
+        winner = (f"{record['scheme']}/{record['replication']}/"
+                  f"{record['stationary']}")
+        lines.append(
+            f"{record['phase']:<8} {record['workload']:<24} "
+            f"{record['home']:<6} {record['lost']:>4} "
+            f"{record['restarts']:>8}  {winner}")
+    lines.append("")
+    lines.append("every routed plan identical to the in-process reference; "
+                 "zero lost requests across the injected crash")
+    return "\n".join(lines)
+
+
+def write_snapshot(path: str = SNAPSHOT_PATH) -> str:
+    records = compute_points()
+    write_snapshot_file(path, records, RELATIVE_TOLERANCE)
+    text = render(records)
+    print(text)
+    write_result("fleet_serving", text)
+    return path
+
+
+def _fleet_mismatch(record: dict, reference: dict):
+    if _winner(record) != _winner(reference):
+        return (f"WINNER CHANGED: snapshot {_winner(reference)} "
+                f"vs served {_winner(record)} at")
+    if record["home"] != reference["home"]:
+        return (f"ROUTING CHANGED: snapshot home {reference['home']!r} "
+                f"vs {record['home']!r} at")
+    if record["warm_hit"] != reference["warm_hit"]:
+        return "WARM AFFINITY LOST at"
+    if record["lost"] != reference["lost"]:
+        return (f"REQUESTS LOST: snapshot {reference['lost']} "
+                f"vs {record['lost']} at")
+    if record["restarts"] != reference["restarts"]:
+        return (f"RESTART ACCOUNTING CHANGED: snapshot "
+                f"{reference['restarts']} vs {record['restarts']} at")
+    return None
+
+
+def check_snapshot(path: str = SNAPSHOT_PATH) -> int:
+    """Compare a fresh fleet run (winners, homes, accounting) to the snapshot."""
+    return check_snapshot_file(path, compute_points(), _key, RELATIVE_TOLERANCE,
+                               label="fleet serving",
+                               extra_mismatch=_fleet_mismatch)
+
+
+def main(argv=None) -> int:
+    return snapshot_cli(__doc__, SNAPSHOT_PATH, write_snapshot, check_snapshot, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,13 @@ This package is the production answer the ROADMAP's serving goal needs:
 callers get the pruned search transparently.
 """
 
-from repro.planner.cache import CacheStats, PlanCache, PlanEntry
+from repro.planner.cache import (
+    CacheStats,
+    PlanCache,
+    PlanEntry,
+    load_portable_seeds,
+    portable_plan_key,
+)
 from repro.planner.graph import (
     DEFAULT_LATTICE_SIZE,
     GraphPlan,
@@ -67,8 +73,10 @@ from repro.planner.signature import (
     DEFAULT_BUCKET_RATIO,
     GraphSignature,
     ProblemSignature,
+    SignatureFactory,
     bucket_dim,
     machine_fingerprint,
+    machine_portability_profile,
     options_fingerprint,
 )
 
@@ -104,7 +112,11 @@ __all__ = [
     "DEFAULT_BUCKET_RATIO",
     "GraphSignature",
     "ProblemSignature",
+    "SignatureFactory",
     "bucket_dim",
     "machine_fingerprint",
+    "machine_portability_profile",
     "options_fingerprint",
+    "load_portable_seeds",
+    "portable_plan_key",
 ]

@@ -75,6 +75,10 @@ class SearchStats:
     #: Candidates that survived the cheap occupancy gate and had the
     #: expensive critical-path bound computed for them.
     num_refined: int = 0
+    #: Candidates pre-simulated from cross-fingerprint seeds (a subset of
+    #: ``num_simulated``): another machine's winners, re-priced on *this*
+    #: machine to establish the pruning threshold before the heap walk.
+    num_seeded: int = 0
     pruning_enabled: bool = True
     bound_name: str = BOUND_CRITICAL_PATH
     #: Seconds compiling candidate op streams (batch evaluator only).
@@ -92,6 +96,7 @@ class SearchStats:
         self.num_simulated += other.num_simulated
         self.num_pruned += other.num_pruned
         self.num_refined += other.num_refined
+        self.num_seeded += other.num_seeded
         self.opgen_seconds += other.opgen_seconds
         self.bound_seconds += other.bound_seconds
         self.refine_seconds += other.refine_seconds
@@ -243,6 +248,7 @@ def search_partitionings(
     bound: str = BOUND_CRITICAL_PATH,
     use_batch: bool = True,
     tracer=None,
+    seed_candidates: Optional[Sequence[Tuple[str, Tuple[int, int, int], str]]] = None,
 ) -> Tuple[List[PartitioningRecommendation], SearchStats]:
     """Search the design space; returns (ranked recommendations, search stats).
 
@@ -280,6 +286,21 @@ def search_partitionings(
     search phases — the eager frontier pricing plus every refinement and
     simulation — so a traced request shows where its planning time went.
     ``None`` (the default) uses the disabled tracer, which records nothing.
+
+    ``seed_candidates`` warm-starts the branch and bound: each
+    ``(scheme_name, replication, stationary)`` spec naming a member of the
+    enumerated space is simulated *up front* (on this machine's cost model),
+    installing an incumbent top-k threshold before the first heap pop.  A
+    good seed — e.g. another machine's winner for the same problem shape,
+    via :func:`repro.planner.cache.load_portable_seeds` — prunes most of the
+    frontier without a single refinement.  The result is provably unchanged:
+    seeds are candidates the search may only visit *earlier*, the admissible
+    bounds and the strict-inequality prune rule still force every potential
+    top-k member (ties included) through simulation, and the final
+    deterministic sort is order-independent.  Specs naming candidates
+    outside the space (unknown scheme, infeasible replication) are ignored;
+    with pruning off, seeds are ignored entirely (everything is simulated
+    anyway).
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     if memory_budget_bytes is None:
@@ -345,29 +366,11 @@ def search_partitionings(
     refine_seconds = 0.0
     opgen_loop_start = evaluator.opgen_seconds if evaluator is not None else 0.0
     started = time.perf_counter()
-    while heap:
-        value, index, refined = heapq.heappop(heap)
-        # Strict inequality keeps ties simulated, which is what makes the
-        # pruned ranking provably identical to the exhaustive one.  Every
-        # entry still in the heap carries an admissible bound >= this one,
-        # so once the smallest exceeds the threshold the rest follow.
-        if prune and value > threshold:
-            stats.num_pruned += 1 + len(heap)
-            break
-        candidate = by_index[index]
-        if prune and not refined:
-            refine_started = time.perf_counter()
-            with tracer.span("search.refine", candidate=index):
-                if evaluator is not None:
-                    tight = evaluator.critical_bound(candidate)
-                else:
-                    tight = candidate_lower_bound(machine, workload, candidate,
-                                                  config, BOUND_CRITICAL_PATH)
-            stats.num_refined += 1
-            refine_seconds += time.perf_counter() - refine_started
-            heapq.heappush(heap, (tight, index, True))
-            continue
-        with tracer.span("search.simulate", candidate=index):
+
+    def simulate(candidate: Candidate) -> None:
+        """Simulate one candidate and fold it into the incumbent top-k."""
+        nonlocal threshold
+        with tracer.span("search.simulate", candidate=candidate.index):
             if evaluator is not None:
                 point = evaluator.simulate(candidate)
             else:
@@ -392,6 +395,51 @@ def search_partitionings(
         del best_times[effective_k:]
         if len(best_times) == effective_k:
             threshold = best_times[-1]
+
+    # Cross-fingerprint warm start: simulate the seeded candidates first so
+    # the threshold is tight before the heap walk begins.  Their heap
+    # entries remain behind as bookkeeping and are skipped when popped.
+    seeded_pending: set = set()
+    if prune and seed_candidates:
+        spec_index = {(c.scheme.name, c.replication, c.stationary): c
+                      for c in candidates}
+        for name, replication, stationary in seed_candidates:
+            candidate = spec_index.get(
+                (str(name), tuple(int(x) for x in replication), str(stationary)))
+            if candidate is None or candidate.index in seeded_pending:
+                continue
+            seeded_pending.add(candidate.index)
+            simulate(candidate)
+            stats.num_seeded += 1
+
+    while heap:
+        value, index, refined = heapq.heappop(heap)
+        if index in seeded_pending:
+            # Simulated during seeding: the surviving heap entry is neither
+            # work to do nor a pruned candidate.
+            seeded_pending.discard(index)
+            continue
+        # Strict inequality keeps ties simulated, which is what makes the
+        # pruned ranking provably identical to the exhaustive one.  Every
+        # entry still in the heap carries an admissible bound >= this one,
+        # so once the smallest exceeds the threshold the rest follow.
+        if prune and value > threshold:
+            stats.num_pruned += 1 + len(heap) - len(seeded_pending)
+            break
+        candidate = by_index[index]
+        if prune and not refined:
+            refine_started = time.perf_counter()
+            with tracer.span("search.refine", candidate=index):
+                if evaluator is not None:
+                    tight = evaluator.critical_bound(candidate)
+                else:
+                    tight = candidate_lower_bound(machine, workload, candidate,
+                                                  config, BOUND_CRITICAL_PATH)
+            stats.num_refined += 1
+            refine_seconds += time.perf_counter() - refine_started
+            heapq.heappush(heap, (tight, index, True))
+            continue
+        simulate(candidate)
     # Refinements run inside the loop but are bound work, not simulation
     # work; likewise compile time incurred during the loop (exhaustive runs
     # compile lazily inside simulate) is op-gen work.

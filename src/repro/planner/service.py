@@ -58,7 +58,12 @@ from repro.obs.reqlog import RequestRecord
 from repro.obs.rollup import Rollup
 from repro.obs.tracing import NULL_TRACER, current_trace_id
 from repro.core.graph import OpGraph
-from repro.planner.cache import PlanCache, PlanEntry
+from repro.planner.cache import (
+    PlanCache,
+    PlanEntry,
+    load_portable_seeds,
+    portable_plan_key,
+)
 from repro.planner.graph import (
     DEFAULT_LATTICE_SIZE,
     GraphPlanEntry,
@@ -70,9 +75,8 @@ from repro.planner.signature import (
     DEFAULT_BUCKET_RATIO,
     GraphSignature,
     ProblemSignature,
-    bucket_workload,
-    machine_fingerprint,
-    options_fingerprint,
+    SignatureFactory,
+    machine_portability_profile,
 )
 from repro.topology.machines import MachineSpec
 
@@ -164,6 +168,13 @@ class ServiceStats:
     #: Plans recomputed off the request path (:meth:`PlannerService.refresh`);
     #: a subset of ``plans_computed``.
     background_refreshes: int = 0
+    #: Cross-fingerprint seed specs imported from portable plan stores
+    #: (:meth:`PlannerService.import_portable_plans`).
+    portable_seeds_loaded: int = 0
+    #: Plans whose branch-and-bound was warm-started by at least one
+    #: portable seed (a subset of ``plans_computed``; the recommendations
+    #: are provably identical to a cold search).
+    portable_seeded: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -293,6 +304,7 @@ class PlannerService:
         request_log=None,
         worker_index: int = -1,
         refresh_options: Optional[Dict[str, object]] = None,
+        portable_store_paths: Optional[Sequence[str]] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -337,9 +349,26 @@ class PlannerService:
         self._stats = ServiceStats()
         # The machine and search options are fixed for the service's lifetime,
         # so their digests are computed once — the warm path must stay a dict
-        # lookup, not an O(devices^2) hash per request.
-        self._machine_digest = machine_fingerprint(machine)
-        self._options_digests: Dict[int, str] = {}
+        # lookup, not an O(devices^2) hash per request.  The factory is the
+        # shared derivation a fleet router uses to compute identical keys
+        # client-side (repro.serve.fleet), so serving and routing can never
+        # disagree about a request's identity.
+        self._signatures = SignatureFactory(
+            machine,
+            top_k=top_k,
+            memory_budget_bytes=memory_budget_bytes,
+            schemes=self.schemes,
+            replication_factors=self.replication_factors,
+            stationary_options=self.stationary_options,
+            itemsize=itemsize,
+            dtype=dtype,
+            bucket_ratio=bucket_ratio,
+            config=self.config,
+        )
+        self._machine_digest = self._signatures.machine_digest
+        #: Coarse compatibility digest stamped on every computed plan so a
+        #: profile-matching machine elsewhere in the fleet can seed from it.
+        self.machine_profile = machine_portability_profile(machine)
         # Plans are priced by the search's default cost model for this
         # machine; its digest stamps every entry so a warm-start store written
         # under a different pricing build invalidates itself on load.
@@ -348,6 +377,12 @@ class PlannerService:
             self._stats.warm_start_entries = self.cache.load(
                 store_path, fingerprint=self.cost_model_fingerprint
             )
+        # Cross-fingerprint warm starts: portable seeds harvested from other
+        # machines' stores, keyed by portable_plan_key.  Never served —
+        # only fed to search_partitionings as incumbent candidates.
+        self._portable_seeds: Dict[str, List[tuple]] = {}
+        for path in portable_store_paths or ():
+            self.import_portable_plans(path)
         # The adaptive refresh engine is owned by the service when asked for:
         # ``refresh_options`` (kwargs for BackgroundRefresher) builds and
         # starts one, and close() stops it.  The import is lazy because
@@ -363,46 +398,76 @@ class PlannerService:
     # signatures
     # ------------------------------------------------------------------ #
     def _options_digest(self, top_k: int) -> str:
-        digest = self._options_digests.get(top_k)
-        if digest is None:
-            scheme_names = (
-                tuple(s.name for s in self.schemes) if self.schemes is not None else "default"
-            )
-            digest = options_fingerprint(
-                top_k=top_k,
-                schemes=scheme_names,
-                replication_factors=(
-                    tuple(self.replication_factors)
-                    if self.replication_factors is not None else "all"
-                ),
-                stationary=self.stationary_options,
-                itemsize=self.itemsize,
-                # The full frozen config: any field (prefetch depth, async
-                # limits, tile caching, ...) can change simulated times and
-                # therefore the winning plan, so none may alias in the cache.
-                config=repr(self.config),
-            )
-            self._options_digests[top_k] = digest
-        return digest
+        return self._signatures.options_digest(top_k)
 
     def signature_for(self, workload: Workload, top_k: Optional[int] = None) -> ProblemSignature:
         """Canonical signature a request maps to (its cache identity).
 
-        Structured workloads bucket their live geometry (density, expert
-        capacity and routed tokens) alongside the envelope, so near-identical
-        sparse requests share a plan computed for their bucket's corner.
+        Delegates to the shared :class:`~repro.planner.signature.SignatureFactory`
+        derivation — the same one a fleet router runs client-side — so
+        routing keys and serving keys are byte-identical by construction.
         """
-        effective_k = self.top_k if top_k is None else top_k
-        m, n, k, structure = bucket_workload(workload, self.bucket_ratio)
-        return ProblemSignature(
-            m=m,
-            n=n,
-            k=k,
-            dtype=self.dtype,
-            machine=self._machine_digest,
-            memory_budget=self.memory_budget_bytes,
-            options=self._options_digest(effective_k),
-            structure=structure,
+        return self._signatures.signature_for(workload, top_k)
+
+    # ------------------------------------------------------------------ #
+    # cross-fingerprint portability
+    # ------------------------------------------------------------------ #
+    def import_portable_plans(self, path: str) -> int:
+        """Harvest branch-and-bound seeds from another machine's plan store.
+
+        Entries whose :attr:`machine_profile` matches this machine's (same
+        candidate space — see
+        :func:`repro.planner.signature.machine_portability_profile`) become
+        seed specs for future searches of the same problem shape: their
+        named candidates are simulated first, establishing the incumbent
+        pruning threshold before the frontier walk.  The foreign plans are
+        **never served** — their simulated times came from a different cost
+        model — so exact-fingerprint answers stay bit-identical; only the
+        amount of search work changes.
+
+        Args:
+            path: a :meth:`~repro.planner.cache.PlanCache.save` store
+                written by any machine (missing/malformed files are a no-op).
+
+        Returns:
+            How many seed specs were imported from this store.
+        """
+        seeds = load_portable_seeds(path, self.machine_profile)
+        imported = 0
+        with self._lock:
+            for portable_key, specs in seeds.items():
+                bucket = self._portable_seeds.setdefault(portable_key, [])
+                for spec in specs:
+                    if spec not in bucket:
+                        bucket.append(spec)
+                        imported += 1
+            self._stats.portable_seeds_loaded += imported
+        return imported
+
+    def _search(self, planning_workload: Workload, top_k: int):
+        """Run the design-space search for one representative workload.
+
+        The single funnel every compute path (foreground miss, background
+        refresh) goes through, so cross-fingerprint seeding applies
+        identically everywhere: portable seeds filed under the workload's
+        portable key warm-start the branch and bound as incumbents.
+        """
+        with self._lock:
+            seeds = self._portable_seeds.get(portable_plan_key(planning_workload))
+            seeds = list(seeds) if seeds else None
+        return search_partitionings(
+            self.machine,
+            planning_workload,
+            memory_budget_bytes=self.memory_budget_bytes,
+            schemes=self.schemes,
+            replication_factors=self.replication_factors,
+            stationary_options=self.stationary_options,
+            top_k=top_k,
+            itemsize=self.itemsize,
+            config=self.config,
+            prune=self.prune,
+            tracer=self._tracer,
+            seed_candidates=seeds,
         )
 
     # ------------------------------------------------------------------ #
@@ -491,24 +556,14 @@ class PlannerService:
             # deterministic answer regardless of arrival order, and the memory
             # budget was checked against the largest shape the bucket admits.
             planning_workload = signature.representative_workload(name=workload.name)
-            recommendations, search_stats = search_partitionings(
-                self.machine,
-                planning_workload,
-                memory_budget_bytes=self.memory_budget_bytes,
-                schemes=self.schemes,
-                replication_factors=self.replication_factors,
-                stationary_options=self.stationary_options,
-                top_k=effective_k,
-                itemsize=self.itemsize,
-                config=self.config,
-                prune=self.prune,
-                tracer=self._tracer,
-            )
+            recommendations, search_stats = self._search(planning_workload,
+                                                         effective_k)
             entry = PlanEntry(recommendations=recommendations,
                               workload=planning_workload,
                               num_simulated=search_stats.num_simulated,
                               num_pruned=search_stats.num_pruned,
-                              fingerprint=self.cost_model_fingerprint)
+                              fingerprint=self.cost_model_fingerprint,
+                              machine_profile=self.machine_profile)
             self.cache.put(key, entry)
             flight.entry = entry
         except BaseException as error:
@@ -527,6 +582,8 @@ class PlannerService:
             self._stats.plans_computed += 1
             self._stats.candidates_simulated += search_stats.num_simulated
             self._stats.candidates_pruned += search_stats.num_pruned
+            if search_stats.num_seeded:
+                self._stats.portable_seeded += 1
             self._stats.total_planning_time += elapsed
             if elapsed > self._stats.max_planning_time:
                 self._stats.max_planning_time = elapsed
@@ -832,24 +889,14 @@ class PlannerService:
         search_stats: Optional[SearchStats] = None
         try:
             planning_workload = signature.representative_workload()
-            recommendations, search_stats = search_partitionings(
-                self.machine,
-                planning_workload,
-                memory_budget_bytes=self.memory_budget_bytes,
-                schemes=self.schemes,
-                replication_factors=self.replication_factors,
-                stationary_options=self.stationary_options,
-                top_k=effective_k,
-                itemsize=self.itemsize,
-                config=self.config,
-                prune=self.prune,
-                tracer=self._tracer,
-            )
+            recommendations, search_stats = self._search(planning_workload,
+                                                         effective_k)
             entry = PlanEntry(recommendations=recommendations,
                               workload=planning_workload,
                               num_simulated=search_stats.num_simulated,
                               num_pruned=search_stats.num_pruned,
-                              fingerprint=self.cost_model_fingerprint)
+                              fingerprint=self.cost_model_fingerprint,
+                              machine_profile=self.machine_profile)
             self.cache.put(key, entry)
             flight.entry = entry
         except BaseException as error:
@@ -864,6 +911,8 @@ class PlannerService:
             self._stats.background_refreshes += 1
             self._stats.candidates_simulated += search_stats.num_simulated
             self._stats.candidates_pruned += search_stats.num_pruned
+            if search_stats.num_seeded:
+                self._stats.portable_seeded += 1
         if self.autosave and self.store_path is not None:
             self.cache.save(self.store_path)
         return True

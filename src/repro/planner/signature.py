@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.bench.workloads import Workload
+from repro.core.config import ExecutionConfig
 from repro.core.structure import DENSE, WorkloadStructure, geometric_bucket
 from repro.topology.machines import MachineSpec
 
@@ -94,6 +95,22 @@ def machine_fingerprint(machine: MachineSpec) -> str:
             parts.append(link.bandwidth)
             parts.append(link.latency)
     blob = "|".join(repr(part) for part in parts)
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:12]
+
+
+def machine_portability_profile(machine: MachineSpec) -> str:
+    """Coarse machine-compatibility digest for cross-fingerprint plan seeding.
+
+    Deliberately much weaker than :func:`machine_fingerprint`: it hashes only
+    what determines whether two machines *enumerate the same candidate
+    space* — the device count (replication factors, partition grids, and
+    per-device footprints all derive from it).  Two machines sharing a
+    profile may still simulate to different winners (different peaks,
+    bandwidths, link matrices), which is exactly why profile-compatible
+    plans are only ever used as branch-and-bound **seeds** — incumbents that
+    tighten the pruning threshold early — and never served directly.
+    """
+    blob = f"devices={machine.num_devices}"
     return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:12]
 
 
@@ -215,3 +232,132 @@ class GraphSignature:
         edges = tuple(GraphEdge(src=src, dst=dst, operand=operand)
                       for src, dst, operand in self.edges)
         return OpGraph(name=self.name, ops=ops, edges=edges)
+
+
+class SignatureFactory:
+    """Server-independent signature computation (the routing half of serving).
+
+    :class:`~repro.planner.service.PlannerService` derives each request's
+    cache identity from its construction options; a fleet router
+    (:class:`~repro.serve.fleet.FleetClient`) must derive the *same* key
+    client-side — without building a service, its cache, or its search —
+    so consistent hashing sends every signature to the one server whose
+    warm cache holds it.  This factory is that shared derivation: construct
+    it with the planning-relevant options the servers were given and
+    :meth:`signature_for` / :meth:`graph_signature_for` produce keys
+    byte-identical to the service's own.
+
+    Extra keyword arguments (cache bounds, store paths, worker plumbing —
+    anything in ``service_options`` that cannot change a signature) are
+    accepted and ignored, so callers may pass a server's ``service_options``
+    dict through verbatim.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        *,
+        top_k: int = 1,
+        memory_budget_bytes: Optional[float] = None,
+        schemes=None,
+        replication_factors: Optional[Sequence[int]] = None,
+        stationary_options: Sequence[str] = ("A", "B", "C"),
+        itemsize: int = 4,
+        dtype: str = "float32",
+        bucket_ratio: float = DEFAULT_BUCKET_RATIO,
+        config: Optional[ExecutionConfig] = None,
+        **_ignored: object,
+    ) -> None:
+        self.machine = machine
+        self.top_k = top_k
+        self.memory_budget_bytes = memory_budget_bytes
+        self.schemes = list(schemes) if schemes is not None else None
+        self.replication_factors = (
+            list(replication_factors) if replication_factors is not None else None
+        )
+        self.stationary_options = tuple(stationary_options)
+        self.itemsize = itemsize
+        self.dtype = dtype
+        self.bucket_ratio = bucket_ratio
+        self.config = config or ExecutionConfig(simulate_only=True)
+        # Machine and options are fixed for the factory's lifetime; digests
+        # are memoized so routing stays a dict lookup per request.
+        self._machine_digest = machine_fingerprint(machine)
+        self._options_digests: Dict[int, str] = {}
+
+    @property
+    def machine_digest(self) -> str:
+        """The memoized :func:`machine_fingerprint` of this factory's machine."""
+        return self._machine_digest
+
+    def options_digest(self, top_k: int) -> str:
+        """The options fingerprint folded into every key for ``top_k``.
+
+        Must hash exactly what the service hashes — any divergence here
+        silently routes every request to a cold cache.
+        """
+        digest = self._options_digests.get(top_k)
+        if digest is None:
+            scheme_names = (
+                tuple(s.name for s in self.schemes) if self.schemes is not None else "default"
+            )
+            digest = options_fingerprint(
+                top_k=top_k,
+                schemes=scheme_names,
+                replication_factors=(
+                    tuple(self.replication_factors)
+                    if self.replication_factors is not None else "all"
+                ),
+                stationary=self.stationary_options,
+                itemsize=self.itemsize,
+                # The full frozen config: any field (prefetch depth, async
+                # limits, tile caching, ...) can change simulated times and
+                # therefore the winning plan, so none may alias in the cache.
+                config=repr(self.config),
+            )
+            self._options_digests[top_k] = digest
+        return digest
+
+    def signature_for(self, workload: Workload,
+                      top_k: Optional[int] = None) -> ProblemSignature:
+        """Canonical signature a request maps to (its cache identity).
+
+        Structured workloads bucket their live geometry (density, expert
+        capacity and routed tokens) alongside the envelope, so near-identical
+        sparse requests share a plan computed for their bucket's corner.
+        """
+        effective_k = self.top_k if top_k is None else top_k
+        m, n, k, structure = bucket_workload(workload, self.bucket_ratio)
+        return ProblemSignature(
+            m=m,
+            n=n,
+            k=k,
+            dtype=self.dtype,
+            machine=self._machine_digest,
+            memory_budget=self.memory_budget_bytes,
+            options=self.options_digest(effective_k),
+            structure=structure,
+        )
+
+    def graph_signature_for(self, graph,
+                            lattice_size: Optional[int] = None) -> GraphSignature:
+        """Canonical signature of one joint graph-planning request.
+
+        Each op buckets exactly like a single-op request (with the lattice
+        size folded into the per-op options digest, so plans computed under
+        different lattice widths never alias); the edge structure rides
+        alongside.  Structurally identical graphs share a cache entry
+        regardless of their display names.
+        """
+        # Lazy import: repro.planner.graph drives the planner stack that
+        # imports this module — the same intentional cycle refresh.py has.
+        from repro.planner.graph import DEFAULT_LATTICE_SIZE, op_workload
+
+        effective = DEFAULT_LATTICE_SIZE if lattice_size is None else lattice_size
+        return GraphSignature(
+            ops=tuple(self.signature_for(op_workload(op), top_k=effective)
+                      for op in graph.ops),
+            edges=tuple((edge.src, edge.dst, edge.operand)
+                        for edge in graph.edges),
+            name=graph.name,
+        )

@@ -10,11 +10,31 @@ a length-prefixed JSON protocol (:mod:`repro.serve.protocol`) with
 connection pooling and transport retries; :mod:`repro.serve.stats`
 aggregates per-worker counters into the fleet-wide view.
 
+PR 10 takes it cross-machine and makes it fault-tolerant:
+:class:`~repro.serve.fleet.FleetRouter` /
+:class:`~repro.serve.fleet.FleetClient` consistent-hash signature keys
+across several servers so every workload lands on the one warm cache that
+holds it; the server supervises its workers (auto-restart with
+:class:`~repro.serve.server.RestartPolicy` backoff) and re-deals
+connections whose worker died; and :mod:`repro.serve.faults` provides the
+deterministic fault-injection seam the crash tests drive.
+
 See ``docs/serving.md`` for the quickstart, the protocol specification, and
 the plan-store eviction knobs long-lived workers should set.
 """
 
 from repro.serve.client import PlanClient, RemotePlanError
+from repro.serve.faults import (
+    FAULT_DELAY,
+    FAULT_DROP,
+    FAULT_EXIT,
+    FAULT_EXIT_CODE,
+    FAULT_TORN,
+    FAULT_TORN_HANDOFF,
+    Fault,
+    FaultPlan,
+)
+from repro.serve.fleet import DEFAULT_REPLICAS, FleetClient, FleetRouter
 from repro.serve.protocol import (
     MAX_MESSAGE_BYTES,
     PROTOCOL_VERSION,
@@ -36,10 +56,22 @@ from repro.serve.protocol import (
     send_message,
     stats_request,
 )
-from repro.serve.server import PlanServer
+from repro.serve.server import PlanServer, RestartPolicy
 from repro.serve.stats import ServerStats, WorkerStats, aggregate_service_stats
 
 __all__ = [
+    "DEFAULT_REPLICAS",
+    "FAULT_DELAY",
+    "FAULT_DROP",
+    "FAULT_EXIT",
+    "FAULT_EXIT_CODE",
+    "FAULT_TORN",
+    "FAULT_TORN_HANDOFF",
+    "Fault",
+    "FaultPlan",
+    "FleetClient",
+    "FleetRouter",
+    "RestartPolicy",
     "MAX_MESSAGE_BYTES",
     "PROTOCOL_VERSION",
     "FrameDecoder",

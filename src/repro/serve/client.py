@@ -51,7 +51,10 @@ class PlanClient:
             connections are opened under concurrency and closed on release.
         retries: how many times a request is retried on *transport* failures
             (connection refused/reset, truncated frames); each retry opens a
-            fresh connection.
+            fresh connection.  A failure on a pooled (possibly stale)
+            connection additionally earns one free immediate retry per
+            request that does not count against this budget — see
+            :meth:`_request`.
         retry_delay: base back-off between retries, doubled per attempt.
         timeout: per-operation socket timeout in seconds.
         tracer: a :class:`~repro.obs.tracing.Tracer`; when given (and
@@ -107,11 +110,18 @@ class PlanClient:
             raise
         return sock
 
-    def _acquire(self) -> socket.socket:
+    def _acquire(self) -> Tuple[socket.socket, bool]:
+        """A connection to use, plus whether it came from the pool.
+
+        Pooled connections may be stale — their worker can have died and
+        been restarted since the connection was pooled — so callers treat
+        failures on them differently from failures on fresh sockets (see
+        :meth:`_request`).
+        """
         try:
-            return self._pool.get_nowait()
+            return self._pool.get_nowait(), True
         except queue.Empty:
-            return self._connect()
+            return self._connect(), False
 
     def _release(self, sock: socket.socket) -> None:
         if not self._closed:
@@ -146,7 +156,18 @@ class PlanClient:
     # request plumbing
     # ------------------------------------------------------------------ #
     def _request(self, payload: Dict[str, object]) -> Dict[str, object]:
-        """One request/response round trip with transport-failure retries."""
+        """One request/response round trip with transport-failure retries.
+
+        A failure on a *pooled* connection gets special treatment: the
+        pooled socket may simply be stale (its worker died and was
+        restarted since the connection was parked), which says nothing
+        about the server's health.  The whole pool is discarded — every
+        parked connection is equally suspect — and the request retries on
+        a fresh socket immediately, without consuming one of the caller's
+        ``retries`` or sleeping.  At most one such freebie is taken per
+        request, so a genuinely dead server still fails after the
+        configured attempts.
+        """
         if self._closed:
             raise RuntimeError("PlanClient is closed")
         # Encode before the retry loop: an oversized payload is a caller
@@ -154,28 +175,43 @@ class PlanClient:
         # than burn retries against healthy connections.
         frame = protocol.encode_frame(payload)
         last_error: Optional[BaseException] = None
-        for attempt in range(self.retries + 1):
+        pool_freebie_available = True
+        attempt = 0
+        while attempt < self.retries + 1:
             if attempt:
                 with self._lock:
                     self._transport_retries += 1
                 time.sleep(self.retry_delay * (2 ** (attempt - 1)))
             try:
-                sock = self._acquire()
+                sock, pooled = self._acquire()
             except OSError as error:
                 last_error = error
+                attempt += 1
                 continue
+            failure: Optional[BaseException] = None
+            message: Optional[Dict[str, object]] = None
             try:
                 protocol.send_frame(sock, frame, timeout=self.timeout)
                 message = protocol.recv_message(sock)
             except (OSError, protocol.ProtocolError) as error:
-                self._close_socket(sock)
-                last_error = error
-                continue
-            if message is None:  # orderly close mid-conversation: retryable
-                self._close_socket(sock)
-                last_error = protocol.ProtocolError(
+                failure = error
+            if failure is None and message is None:
+                # Orderly close mid-conversation: same staleness signal as a
+                # reset — a restarted worker's old sockets EOF cleanly.
+                failure = protocol.ProtocolError(
                     "server closed the connection before answering")
+            if failure is not None:
+                self._close_socket(sock)
+                last_error = failure
+                if pooled and pool_freebie_available:
+                    # Stale pool, not a sick server: drop every parked
+                    # connection and go again on a fresh socket for free.
+                    pool_freebie_available = False
+                    self._drain_pool()
+                    continue
+                attempt += 1
                 continue
+            assert message is not None
             self._release(sock)
             if not message.get("ok"):
                 detail = message.get("error") or {}

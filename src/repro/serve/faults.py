@@ -1,0 +1,145 @@
+"""Deterministic fault injection for the serving fleet (test seam).
+
+Chaos testing a pre-forked server is usually a festival of sleeps and
+signals; this module replaces that with a *deterministic* seam.  A
+:class:`FaultPlan` is handed to :class:`~repro.serve.server.PlanServer` at
+construction and rides the fork into every worker.  Faults are keyed by
+**who** (worker index), **when** (the 0-based ordinal of the decoded request
+within one worker incarnation, or of the connection hand-off attempt for
+parent-side faults), and **which incarnation** (the worker's restart
+generation) — so a test can say "worker 0, generation 0, kills itself on its
+second request" and the failure happens at exactly that point in the
+request stream, every run.
+
+Worker-side actions (fire while handling a decoded request):
+
+* :data:`FAULT_EXIT` — the worker process exits mid-request, *before*
+  answering (``os._exit``), exactly like a crash between decode and reply;
+* :data:`FAULT_DROP` — the worker closes the connection without answering
+  (the client observes a clean EOF at a frame boundary and retries);
+* :data:`FAULT_TORN` — the worker writes a torn frame (a length header
+  promising more bytes than follow) and closes, so the client observes a
+  mid-frame disconnect (:class:`~repro.serve.protocol.ProtocolError`);
+* :data:`FAULT_DELAY` — the worker sleeps ``delay_seconds`` before
+  answering (slow-worker emulation; the answer itself is unchanged).
+
+Parent-side action (fires while dealing an accepted connection):
+
+* :data:`FAULT_TORN_HANDOFF` — the parent sends the ``("conn",)``
+  announcement but garbage bytes instead of the ``SCM_RIGHTS`` descriptor.
+  The worker's ``recv_handle`` rejects the corrupt hand-off and the worker
+  exits cleanly; the parent retires it and re-deals the same connection to
+  a survivor, so no request is lost.
+
+Matching is **pure** — a :class:`Fault` holds no mutable state.  "Fire
+once" falls out of the ordinal key: a fault pinned to ``generation=0``
+never fires again after the worker restarts, while ``generation=None``
+(any incarnation) re-fires on every restart at the same ordinal — the
+restart-storm driver.
+
+Production servers simply pass no plan; the per-request cost of the
+disabled seam is one ``is None`` check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+#: Worker-side: exit the worker process mid-request (before answering).
+FAULT_EXIT = "exit"
+#: Worker-side: close the connection without answering (clean EOF).
+FAULT_DROP = "drop"
+#: Worker-side: send a truncated frame, then close (mid-frame disconnect).
+FAULT_TORN = "torn"
+#: Worker-side: sleep ``delay_seconds`` before answering normally.
+FAULT_DELAY = "delay"
+#: Parent-side: corrupt the fd hand-off to this worker (garbage instead of
+#: the descriptor); the worker rejects it and exits, the parent re-deals.
+FAULT_TORN_HANDOFF = "torn_handoff"
+
+#: Every action a :class:`Fault` may carry, by side.
+WORKER_ACTIONS = (FAULT_EXIT, FAULT_DROP, FAULT_TORN, FAULT_DELAY)
+PARENT_ACTIONS = (FAULT_TORN_HANDOFF,)
+
+#: Exit status a :data:`FAULT_EXIT` worker dies with (distinguishable from
+#: a clean shutdown in process tables and test assertions).
+FAULT_EXIT_CODE = 17
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled failure: what happens, to whom, and exactly when.
+
+    Args:
+        action: one of the module's ``FAULT_*`` action names.
+        worker: index of the targeted worker.
+        request: 0-based ordinal the fault fires at — the ordinal of the
+            decoded request within one worker incarnation for worker-side
+            actions, or of the hand-off attempt to that worker (counted per
+            incarnation) for :data:`FAULT_TORN_HANDOFF`.
+        generation: which incarnation of the worker the fault applies to
+            (0 is the originally forked worker; each restart increments).
+            ``None`` matches *every* incarnation — the restart-storm knob.
+        delay_seconds: how long :data:`FAULT_DELAY` sleeps; ignored by the
+            other actions.
+    """
+
+    action: str
+    worker: int
+    request: int = 0
+    generation: Optional[int] = 0
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in WORKER_ACTIONS + PARENT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; available: "
+                f"{WORKER_ACTIONS + PARENT_ACTIONS}")
+        if self.request < 0:
+            raise ValueError(f"request ordinal must be >= 0, got {self.request}")
+
+    def matches(self, worker: int, generation: int, ordinal: int) -> bool:
+        """True when this fault fires at ``(worker, generation, ordinal)``."""
+        return (self.worker == worker
+                and self.request == ordinal
+                and (self.generation is None or self.generation == generation))
+
+
+class FaultPlan:
+    """An immutable schedule of :class:`Fault` injections.
+
+    Picklable (it crosses the fork into every worker) and stateless: both
+    the parent and each worker consult it with their own monotonically
+    increasing ordinals, so the same plan object never needs cross-process
+    coordination.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self.faults: Tuple[Fault, ...] = tuple(faults)
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise TypeError(f"expected Fault, got {type(fault).__name__}")
+
+    def match(self, worker: int, generation: int, ordinal: int,
+              actions: Tuple[str, ...]) -> Optional[Fault]:
+        """The first scheduled fault firing at this point, if any.
+
+        Args:
+            worker: the consulting worker's index (or the hand-off target).
+            generation: that worker's incarnation number.
+            ordinal: the 0-based request (or hand-off) ordinal.
+            actions: which action family the caller can execute —
+                :data:`WORKER_ACTIONS` from inside a worker,
+                :data:`PARENT_ACTIONS` from the dispatcher.
+        """
+        for fault in self.faults:
+            if fault.action in actions and fault.matches(worker, generation, ordinal):
+                return fault
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self.faults)!r})"

@@ -1,0 +1,375 @@
+"""Cross-machine fleet routing: consistent hashing over several PlanServers.
+
+One :class:`~repro.serve.server.PlanServer` scales plan serving across the
+cores of one host; this module scales it across hosts.  A
+:class:`FleetRouter` places every endpoint on a consistent-hash ring (a
+bounded number of sha1 virtual nodes per endpoint), and a
+:class:`FleetClient` routes each request by its *signature key* — the same
+canonical cache identity the servers themselves use
+(:class:`~repro.planner.signature.SignatureFactory`) — so a given workload
+always lands on the one server whose warm cache already holds its plan.
+
+Consistent hashing gives the two properties a warm fleet needs:
+
+* **stability** — the same signature key maps to the same endpoint for as
+  long as membership is unchanged, so cache hits accumulate instead of
+  spraying across the fleet;
+* **minimal disruption** — adding an endpoint moves only the keys on the
+  arcs its virtual nodes claim (roughly ``1/N`` of the space), and removing
+  one remaps only the keys it owned; every other server keeps its warm
+  cache intact.
+
+The router is transport-agnostic (it maps strings to endpoint names); the
+client wraps one pooled :class:`~repro.serve.client.PlanClient` per
+endpoint and optionally fails a request over to the next distinct endpoint
+on the ring when its home server is unreachable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bench.workloads import Workload
+from repro.planner.signature import SignatureFactory
+from repro.serve.client import PlanClient
+from repro.serve.protocol import RemoteGraphPlanResponse, RemotePlanResponse
+from repro.serve.stats import WorkerStats
+from repro.topology.machines import MachineSpec
+from repro.util.logging import get_logger, log_event
+
+_LOG = get_logger("serve.fleet")
+
+Address = Union[str, Tuple[str, int]]
+
+#: Virtual nodes placed on the ring per endpoint.  Bounded and modest: 64
+#: replicas keeps the expected load imbalance within a few percent for
+#: small fleets while the ring stays a few hundred entries — O(log R·N)
+#: routing with trivial memory.
+DEFAULT_REPLICAS = 64
+
+
+class FleetRouter:
+    """A consistent-hash ring mapping string keys to endpoint names.
+
+    Each node contributes ``replicas`` virtual points, placed by sha1 of
+    ``"<node>#<replica>"``; a key routes to the first virtual point at or
+    clockwise-after sha1 of the key.  Ties (identical points from different
+    nodes) break deterministically by node name.
+
+    Args:
+        nodes: initial endpoint names (order-independent).
+        replicas: virtual nodes per endpoint (>= 1).
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), *,
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        #: Sorted ``(point, node)`` pairs — the ring.
+        self._ring: List[Tuple[int, str]] = []
+        self._members: set = set()
+        for node in nodes:
+            self.add_node(node)
+
+    @staticmethod
+    def _point(label: str) -> int:
+        """A label's position on the ring (first 8 bytes of its sha1)."""
+        return int.from_bytes(
+            hashlib.sha1(label.encode("utf-8")).digest()[:8], "big")
+
+    def add_node(self, node: str) -> None:
+        """Place ``node``'s virtual points on the ring.
+
+        Only keys on the arcs those points claim move to the new node;
+        every other key keeps its previous owner.
+        """
+        if node in self._members:
+            raise ValueError(f"node already on the ring: {node!r}")
+        self._members.add(node)
+        for replica in range(self.replicas):
+            bisect.insort(self._ring, (self._point(f"{node}#{replica}"), node))
+
+    def remove_node(self, node: str) -> None:
+        """Remove ``node``; only the keys it owned remap (to arc successors)."""
+        if node not in self._members:
+            raise KeyError(f"node not on the ring: {node!r}")
+        self._members.discard(node)
+        self._ring = [entry for entry in self._ring if entry[1] != node]
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Current ring membership, sorted by name."""
+        return tuple(sorted(self._members))
+
+    def __len__(self) -> int:
+        """Number of member nodes."""
+        return len(self._members)
+
+    def __contains__(self, node: str) -> bool:
+        """Whether ``node`` is currently on the ring."""
+        return node in self._members
+
+    def route(self, key: str) -> str:
+        """The endpoint owning ``key`` under current membership."""
+        if not self._ring:
+            raise RuntimeError("cannot route on an empty ring")
+        index = bisect.bisect_right(self._ring,
+                                    (self._point(key), "")) % len(self._ring)
+        return self._ring[index][1]
+
+    def route_chain(self, key: str, count: Optional[int] = None) -> List[str]:
+        """Distinct endpoints for ``key`` in ring order (failover order).
+
+        The first entry is :meth:`route`'s answer; later entries are the
+        next *distinct* owners walking clockwise — the servers a client
+        should try, in order, when earlier ones are unreachable.
+
+        Args:
+            key: the routing key.
+            count: maximum endpoints to return (all members if ``None``).
+        """
+        if not self._ring:
+            raise RuntimeError("cannot route on an empty ring")
+        limit = len(self._members) if count is None else min(count,
+                                                            len(self._members))
+        start = bisect.bisect_right(self._ring, (self._point(key), ""))
+        chain: List[str] = []
+        for offset in range(len(self._ring)):
+            node = self._ring[(start + offset) % len(self._ring)][1]
+            if node not in chain:
+                chain.append(node)
+                if len(chain) >= limit:
+                    break
+        return chain
+
+
+class FleetClient:
+    """Signature-routed client over a named fleet of PlanServers.
+
+    Computes each request's canonical signature key exactly as the servers
+    do (via :class:`~repro.planner.signature.SignatureFactory`), routes the
+    key on a :class:`FleetRouter`, and sends the request through that
+    endpoint's pooled :class:`~repro.serve.client.PlanClient`.  The same
+    workload therefore always reaches the same server's warm cache, and a
+    fleet of N servers behaves — hit-rate-wise — like one server with an
+    N-times-larger cache.
+
+    Args:
+        endpoints: mapping of endpoint name to resolved server address
+            (``PlanServer.address``).  Names, not addresses, live on the
+            ring, so a server can be moved without remapping its keys.
+        machine: the machine the fleet plans for — **must** match the
+            servers' machine, or client-side keys diverge from server-side
+            cache identities and every request looks cold.
+        service_options: the same planner options the servers were built
+            with (``top_k``, ``replication_factors``, ...); folded into the
+            options digest of every key.  Unknown serving-only keys are
+            ignored, so the exact ``service_options`` dict handed to
+            :class:`~repro.serve.server.PlanServer` can be passed verbatim.
+        replicas: virtual nodes per endpoint on the ring.
+        failover: when True (default), a request whose home endpoint is
+            unreachable (``ConnectionError`` after the client's own
+            retries) is retried on the next distinct endpoints along the
+            ring instead of failing — warm-cache affinity is lost for that
+            request, availability is not.
+        client_options: keyword arguments forwarded to every per-endpoint
+            :class:`~repro.serve.client.PlanClient` (``pool_size``,
+            ``retries``, ``timeout``, ``tracer``, ...).
+
+    Use as a context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        endpoints: Dict[str, Address],
+        machine: MachineSpec,
+        *,
+        service_options: Optional[Dict[str, object]] = None,
+        replicas: int = DEFAULT_REPLICAS,
+        failover: bool = True,
+        client_options: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("FleetClient needs at least one endpoint")
+        self.failover = failover
+        options = dict(client_options or {})
+        self._signatures = SignatureFactory(machine,
+                                            **dict(service_options or {}))
+        self._router = FleetRouter(sorted(endpoints), replicas=replicas)
+        self._clients: Dict[str, PlanClient] = {
+            name: PlanClient(address, **options)  # type: ignore[arg-type]
+            for name, address in endpoints.items()}
+        self._client_options = options
+        self._lock = threading.Lock()
+        self._requests_by_endpoint: Dict[str, int] = {}
+        self._failovers = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+    @property
+    def endpoints(self) -> Tuple[str, ...]:
+        """Current endpoint names, sorted."""
+        return self._router.nodes
+
+    def add_endpoint(self, name: str, address: Address) -> None:
+        """Join a server to the fleet; only its ring arc's keys move to it."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("FleetClient is closed")
+            self._router.add_node(name)  # validates duplicates first
+            self._clients[name] = PlanClient(
+                address, **self._client_options)  # type: ignore[arg-type]
+        log_event(_LOG, "fleet.endpoint.join", endpoint=name)
+
+    def remove_endpoint(self, name: str) -> None:
+        """Remove a server; only the keys it owned remap to ring successors."""
+        with self._lock:
+            self._router.remove_node(name)
+            client = self._clients.pop(name)
+        client.close()
+        log_event(_LOG, "fleet.endpoint.leave", endpoint=name)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def route(self, workload: Workload, *,
+              top_k: Optional[int] = None) -> str:
+        """The endpoint name a workload's signature key routes to."""
+        return self._router.route(
+            self._signatures.signature_for(workload, top_k).key())
+
+    def route_graph(self, graph, *,
+                    lattice_size: Optional[int] = None) -> str:
+        """The endpoint name an op graph's signature key routes to."""
+        return self._router.route(
+            self._signatures.graph_signature_for(graph, lattice_size).key())
+
+    def _send(self, key: str, call):
+        """Route ``key``, invoke ``call(client)`` there, fail over if allowed."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("FleetClient is closed")
+            chain = self._router.route_chain(
+                key, None if self.failover else 1)
+            clients = [(name, self._clients[name]) for name in chain]
+        last_error: Optional[BaseException] = None
+        for position, (name, client) in enumerate(clients):
+            try:
+                result = call(client)
+            except ConnectionError as error:
+                last_error = error
+                log_event(_LOG, "fleet.endpoint.unreachable", endpoint=name)
+                continue
+            with self._lock:
+                self._requests_by_endpoint[name] = (
+                    self._requests_by_endpoint.get(name, 0) + 1)
+                if position:
+                    self._failovers += 1
+            return result
+        raise ConnectionError(
+            f"no endpoint answered for key {key!r} "
+            f"(tried {[name for name, _ in clients]})") from last_error
+
+    # ------------------------------------------------------------------ #
+    # API
+    # ------------------------------------------------------------------ #
+    def plan(self, workload: Workload, *,
+             top_k: Optional[int] = None) -> RemotePlanResponse:
+        """Request a plan from the server owning this workload's signature.
+
+        Args:
+            workload: the problem to partition.
+            top_k: how many ranked plans to return (server default if None).
+
+        Returns:
+            The served plan plus which worker (and endpoint arc) answered.
+        """
+        key = self._signatures.signature_for(workload, top_k).key()
+        return self._send(key, lambda client: client.plan(workload,
+                                                          top_k=top_k))
+
+    def plan_graph(self, graph, *,
+                   lattice_size: Optional[int] = None
+                   ) -> RemoteGraphPlanResponse:
+        """Request a joint graph plan from the graph signature's owner.
+
+        Args:
+            graph: the :class:`repro.core.graph.OpGraph` to plan jointly.
+            lattice_size: per-op layout candidates the joint planner weighs
+                (server default if ``None``).
+
+        Returns:
+            The joint plan plus which worker answered.
+        """
+        key = self._signatures.graph_signature_for(graph, lattice_size).key()
+        return self._send(
+            key, lambda client: client.plan_graph(graph,
+                                                  lattice_size=lattice_size))
+
+    def ping_all(self) -> Dict[str, Dict[str, object]]:
+        """Ping every endpoint; returns ``{endpoint: ping payload}``.
+
+        Unreachable endpoints are absent from the result rather than
+        raising — this is a liveness sweep, not a health gate.
+        """
+        with self._lock:
+            clients = list(self._clients.items())
+        answers: Dict[str, Dict[str, object]] = {}
+        for name, client in clients:
+            try:
+                answers[name] = client.ping()
+            except ConnectionError:
+                continue
+        return answers
+
+    def worker_stats(self) -> Dict[str, WorkerStats]:
+        """One worker's counters per endpoint (a cheap fleet health sample).
+
+        Each endpoint answers through whichever worker owns the pooled
+        connection; fleet-accurate totals live server-side
+        (:meth:`repro.serve.server.PlanServer.aggregate_stats`).
+        """
+        with self._lock:
+            clients = list(self._clients.items())
+        answers: Dict[str, WorkerStats] = {}
+        for name, client in clients:
+            try:
+                answers[name] = client.worker_stats()
+            except ConnectionError:
+                continue
+        return answers
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def requests_by_endpoint(self) -> Dict[str, int]:
+        """Successful requests served per endpoint (includes failovers)."""
+        with self._lock:
+            return dict(self._requests_by_endpoint)
+
+    @property
+    def failovers(self) -> int:
+        """Requests answered by a non-home endpoint after their home failed."""
+        with self._lock:
+            return self._failovers
+
+    def close(self) -> None:
+        """Close every per-endpoint client (idempotent)."""
+        with self._lock:
+            self._closed = True
+            clients = list(self._clients.values())
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

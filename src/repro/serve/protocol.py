@@ -66,8 +66,12 @@ from repro.planner.service import PlanResponse
 #: served from an expired-but-in-grace cache entry while a background
 #: refresh recomputes it); 1.3 added the ``plan_graph`` op (joint layout
 #: planning over an op chain/DAG, carrying the graph as
-#: ``OpGraph.to_dict()``).  All additive — 1.x peers interoperate.
-PROTOCOL_VERSION = (1, 3)
+#: ``OpGraph.to_dict()``); 1.4 added the ``generation`` response field on
+#: ``plan``/``plan_graph``/``ping`` — the answering worker's restart
+#: incarnation (0 for the originally forked worker, +1 per supervised
+#: restart), so clients and tests can tell a fresh-cache restarted worker
+#: from its predecessor.  All additive — 1.x peers interoperate.
+PROTOCOL_VERSION = (1, 4)
 
 #: Frame header: one network-order unsigned 32-bit payload length.
 HEADER = struct.Struct("!I")
@@ -312,6 +316,9 @@ class RemotePlanResponse:
     #: True when the plan came from an expired-but-in-grace cache entry
     #: (stale-while-revalidate; protocol 1.2, defaults for older servers).
     stale: bool = False
+    #: The answering worker's restart incarnation (protocol 1.4; 0 both for
+    #: never-restarted workers and when talking to older servers).
+    generation: int = 0
     #: Trace id the worker served under (``None`` when tracing was off).
     trace_id: Optional[str] = None
     #: Wire-form span dicts the worker recorded for this request (protocol
@@ -340,6 +347,7 @@ class RemotePlanResponse:
             pid=int(payload.get("pid", 0)),  # type: ignore[arg-type]
             plan_age=float(payload.get("plan_age", 0.0)),  # type: ignore[arg-type]
             stale=bool(payload.get("stale", False)),
+            generation=int(payload.get("generation", 0)),  # type: ignore[arg-type]
             trace_id=str(trace_id) if trace_id is not None else None,
             spans=list(payload.get("spans") or []),  # type: ignore[arg-type]
         )
@@ -377,6 +385,8 @@ class RemoteGraphPlanResponse:
     plan_age: float = 0.0
     #: True when a grace-window (stale-while-revalidate) entry was served.
     stale: bool = False
+    #: The answering worker's restart incarnation (protocol 1.4).
+    generation: int = 0
     #: Trace id the worker served under (``None`` when tracing was off).
     trace_id: Optional[str] = None
     #: Wire-form span dicts the worker recorded for this request.
@@ -403,6 +413,7 @@ class RemoteGraphPlanResponse:
             pid=int(payload.get("pid", 0)),  # type: ignore[arg-type]
             plan_age=float(payload.get("plan_age", 0.0)),  # type: ignore[arg-type]
             stale=bool(payload.get("stale", False)),
+            generation=int(payload.get("generation", 0)),  # type: ignore[arg-type]
             trace_id=str(trace_id) if trace_id is not None else None,
             spans=list(payload.get("spans") or []),  # type: ignore[arg-type]
         )
@@ -411,6 +422,7 @@ class RemoteGraphPlanResponse:
 def graph_plan_response_payload(response, worker: int, pid: int,
                                 trace_id: Optional[str] = None,
                                 spans: Optional[List[Dict[str, object]]] = None,
+                                generation: int = 0,
                                 ) -> Dict[str, object]:
     """Wire form of one :class:`~repro.planner.service.GraphPlanResponse`.
 
@@ -435,6 +447,7 @@ def graph_plan_response_payload(response, worker: int, pid: int,
         "pid": pid,
         "plan_age": response.plan_age,
         "stale": response.stale,
+        "generation": generation,
     }
     if trace_id is not None:
         payload["trace_id"] = trace_id
@@ -446,6 +459,7 @@ def graph_plan_response_payload(response, worker: int, pid: int,
 def plan_response_payload(response: PlanResponse, worker: int, pid: int,
                           trace_id: Optional[str] = None,
                           spans: Optional[List[Dict[str, object]]] = None,
+                          generation: int = 0,
                           ) -> Dict[str, object]:
     """Wire form of one :class:`~repro.planner.service.PlanResponse`.
 
@@ -456,6 +470,7 @@ def plan_response_payload(response: PlanResponse, worker: int, pid: int,
         trace_id: the trace the worker served under, when tracing was on.
         spans: the worker's recorded spans for this request (wire-form
             dicts); omitted from the payload when ``None``.
+        generation: the worker's restart incarnation (protocol 1.4).
     """
     stats = response.search_stats
     payload: Dict[str, object] = {
@@ -470,6 +485,7 @@ def plan_response_payload(response: PlanResponse, worker: int, pid: int,
         "pid": pid,
         "plan_age": response.plan_age,
         "stale": response.stale,
+        "generation": generation,
     }
     if trace_id is not None:
         payload["trace_id"] = trace_id

@@ -20,7 +20,17 @@ process boundary in the codebase:
 * the parent aggregates per-worker counters on demand
   (:meth:`PlanServer.aggregate_stats`) by round-tripping a stats request on
   each control pipe — the only cross-worker communication, and it never
-  blocks serving.
+  blocks serving;
+* a **supervisor** thread in the parent (on by default, see
+  ``auto_restart``) detects dead workers and re-forks them in place with a
+  bumped ``generation``, backing off exponentially per
+  :class:`RestartPolicy` and abandoning a worker whose restarts storm; a
+  connection whose hand-off fails because its worker died is re-dealt to a
+  survivor, so accepted requests are not lost to crashes;
+* deterministic fault injection (``fault_plan``, see
+  :mod:`repro.serve.faults`) lets tests crash, delay, or corrupt exactly
+  one request at an exact ``(worker, generation, ordinal)`` coordinate —
+  no sleeps, no signal races.
 
 Workers warm-start independently: point ``service_options["store_path"]`` at
 a shared plan store and every worker loads it at boot; the bounded cache
@@ -53,6 +63,17 @@ from repro.obs.reqlog import RequestLog
 from repro.obs.tracing import Tracer
 from repro.planner.service import PlannerService
 from repro.serve import protocol
+from repro.serve.faults import (
+    FAULT_DELAY,
+    FAULT_DROP,
+    FAULT_EXIT,
+    FAULT_EXIT_CODE,
+    FAULT_TORN,
+    FAULT_TORN_HANDOFF,
+    PARENT_ACTIONS,
+    WORKER_ACTIONS,
+    FaultPlan,
+)
 from repro.serve.stats import ServerStats, WorkerStats
 from repro.topology.machines import MachineSpec
 from repro.util.logging import get_logger, log_event
@@ -112,13 +133,89 @@ def _fork_context():
         ) from error
 
 
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How aggressively the parent revives dead workers.
+
+    Restarts are backed off exponentially per consecutive death
+    (``backoff_base * backoff_multiplier ** n``, capped at ``backoff_cap``)
+    so a worker that crashes on its very first request cannot spin the fork
+    path; a quiet period of ``window_seconds`` resets the backoff.  When
+    ``max_restarts_per_window`` is set and a worker dies more often than
+    that within one window, the parent *abandons* it — the storm is treated
+    as a persistent fault, not bad luck — and the remaining workers carry
+    the traffic.
+    """
+
+    #: Delay before the first restart after a quiet period, seconds.
+    backoff_base: float = 0.05
+    #: Growth factor applied per consecutive death.
+    backoff_multiplier: float = 2.0
+    #: Ceiling on any single restart delay, seconds.
+    backoff_cap: float = 2.0
+    #: Sliding window for storm detection (and backoff reset), seconds.
+    window_seconds: float = 30.0
+    #: Deaths tolerated per window before the worker is abandoned
+    #: (``None`` = never abandon, keep backing off forever).
+    max_restarts_per_window: Optional[int] = None
+
+
+class _RestartState:
+    """Per-worker restart bookkeeping (backoff and storm detection).
+
+    Pure and clock-injectable: every decision flows through
+    :meth:`record_death`, so tests can drive the backoff schedule with a
+    fake clock instead of sleeping through it.
+    """
+
+    def __init__(self, policy: RestartPolicy, clock=time.monotonic) -> None:
+        self.policy = policy
+        self.clock = clock
+        #: Death timestamps inside the current window (pruned on record).
+        self.deaths: List[float] = []
+        #: Consecutive deaths since the last quiet period.
+        self.consecutive = 0
+        #: True once the storm limit tripped; the worker stays down.
+        self.abandoned = False
+
+    def record_death(self) -> Optional[float]:
+        """Note one death; return the restart delay, or None to abandon.
+
+        Deaths older than the policy window are forgotten first; an empty
+        window means the worker had been stable, so the backoff restarts
+        from ``backoff_base``.
+        """
+        now = self.clock()
+        self.deaths = [t for t in self.deaths
+                       if now - t < self.policy.window_seconds]
+        if not self.deaths:
+            self.consecutive = 0
+        self.deaths.append(now)
+        limit = self.policy.max_restarts_per_window
+        if limit is not None and len(self.deaths) > limit:
+            self.abandoned = True
+            return None
+        delay = min(self.policy.backoff_cap,
+                    self.policy.backoff_base
+                    * self.policy.backoff_multiplier ** self.consecutive)
+        self.consecutive += 1
+        return delay
+
+
 @dataclass
 class _WorkerHandle:
-    """Parent-side bookkeeping for one worker process."""
+    """Parent-side bookkeeping for one worker process (one incarnation)."""
 
     index: int
     process: "multiprocessing.process.BaseProcess"
     pipe: "multiprocessing.connection.Connection"
+    #: Which incarnation of this worker slot the process is: 0 at boot,
+    #: +1 per supervised restart.  Echoed in responses so clients and the
+    #: fault plan can tell incarnations apart.
+    generation: int = 0
+    #: Connection hand-off attempts made to this incarnation (the ordinal
+    #: parent-side faults match against).
+    handoffs: int = 0
     #: Serializes parent *writes* to ``pipe`` (connection hand-offs from the
     #: dispatcher thread, stats requests from caller threads).  Held only
     #: for the duration of a send, never across a reply wait, so monitoring
@@ -173,6 +270,22 @@ class PlanServer:
             refresh, prewarming, and drift re-planning all happen inside the
             worker, off its request path.  ``None`` (default) serves without
             background refresh, at zero added cost.
+        auto_restart: when True (default) the parent runs a supervisor
+            thread that detects dead workers and re-forks them in place —
+            same worker index, fresh process, ``generation`` bumped by one —
+            with stats, metrics, request logging, and background refresh
+            re-attached exactly as at boot.  Restart storms are rate-limited
+            by ``restart_policy``.
+        restart_policy: backoff/abandonment knobs for supervision; the
+            default :class:`RestartPolicy` backs off exponentially and never
+            abandons.
+        fault_plan: a deterministic :class:`~repro.serve.faults.FaultPlan`
+            injected into the fleet for testing — worker-side faults (exit /
+            drop / torn / delay) fire inside workers keyed on
+            ``(worker, generation, request ordinal)``; the parent-side
+            ``torn_handoff`` fault corrupts a connection hand-off so the
+            worker dies mid-transfer and the parent re-deals the same
+            connection to a survivor.  ``None`` (default) injects nothing.
 
     Use as a context manager or call :meth:`start` / :meth:`stop` explicitly.
     """
@@ -189,6 +302,9 @@ class PlanServer:
         enable_tracing: bool = False,
         reqlog_dir: Optional[str] = None,
         refresh_options: Optional[Dict[str, object]] = None,
+        auto_restart: bool = True,
+        restart_policy: Optional[RestartPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -201,6 +317,9 @@ class PlanServer:
         self.reqlog_dir = reqlog_dir
         self.refresh_options = (dict(refresh_options)
                                 if refresh_options is not None else None)
+        self.auto_restart = auto_restart
+        self.restart_policy = restart_policy or RestartPolicy()
+        self._fault_plan = fault_plan
         self._requested_address = address
         #: The resolved listening endpoint (set by :meth:`start`): the Unix
         #: socket path, or the bound ``(host, port)`` tuple.
@@ -208,6 +327,14 @@ class PlanServer:
         self._listener: Optional[socket.socket] = None
         self._workers: List[_WorkerHandle] = []
         self._dispatcher: Optional[threading.Thread] = None
+        self._supervisor: Optional[threading.Thread] = None
+        self._restart_states: Dict[int, _RestartState] = {}
+        self._pending_restarts: Dict[int, float] = {}
+        self._restart_counts: Dict[int, int] = {}
+        self._supervisor_lock = threading.Lock()
+        #: Parent-side registry holding supervision metrics (restart counts);
+        #: merged into :meth:`aggregate_metrics` output.
+        self._parent_metrics = MetricsRegistry() if enable_metrics else None
         self._tempdir: Optional[tempfile.TemporaryDirectory] = None
         self._unix_path: Optional[str] = None
         self._stats_seq = 0
@@ -228,38 +355,51 @@ class PlanServer:
             raise RuntimeError("PlanServer already started")
         self._started = True
         self._listener = self._bind()
-        ctx = _fork_context()
-        # Create every pipe before forking anyone, and hand each child the
-        # full list of ends it must close: a forked child inherits copies of
-        # all fds open at fork time (every sibling's pipe ends, the parent
-        # ends, the listener), and any surviving copy would defeat EOF
-        # delivery when the parent closes or drops a pipe.
-        pipes = [ctx.Pipe(duplex=True) for _ in range(self.num_workers)]
         for index in range(self.num_workers):
-            child_pipe = pipes[index][1]
-            unwanted = [conn for pair in pipes for conn in pair
-                        if conn is not child_pipe]
-            process = ctx.Process(
-                target=_worker_main,
-                args=(index, child_pipe, unwanted, self._listener,
-                      self.machine, self.service_options),
-                kwargs={"enable_metrics": self.enable_metrics,
-                        "enable_tracing": self.enable_tracing,
-                        "reqlog_dir": self.reqlog_dir,
-                        "refresh_options": self.refresh_options},
-                daemon=True,
-                name=f"plan-worker-{index}",
-            )
-            process.start()
-            self._workers.append(_WorkerHandle(index=index, process=process,
-                                               pipe=pipes[index][0]))
-        for _parent_pipe, child_pipe in pipes:
-            child_pipe.close()
+            self._workers.append(self._spawn_worker(index, generation=0))
+            self._restart_states[index] = _RestartState(self.restart_policy)
         self._dispatcher = threading.Thread(target=self._dispatch_loop,
                                             name="plan-dispatch", daemon=True)
         self._dispatcher.start()
+        if self.auto_restart:
+            self._supervisor = threading.Thread(target=self._supervise_loop,
+                                                name="plan-supervisor",
+                                                daemon=True)
+            self._supervisor.start()
         assert self.address is not None
         return self.address
+
+    def _spawn_worker(self, index: int, generation: int) -> _WorkerHandle:
+        """Fork one worker process (initial boot and supervised restarts).
+
+        A forked child inherits copies of every fd open at fork time: the
+        listener and the parent ends of every *live* sibling pipe.  Each of
+        those copies is handed to the child as ``unwanted`` so it can close
+        them immediately — a surviving copy would defeat EOF delivery when
+        the parent closes or drops a pipe.  (Sibling *child* ends are closed
+        in the parent right after each fork, so they are never inherited.)
+        """
+        ctx = _fork_context()
+        parent_end, child_end = ctx.Pipe(duplex=True)
+        unwanted = [parent_end]
+        unwanted.extend(h.pipe for h in self._workers if not h.dead)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(index, child_end, unwanted, self._listener,
+                  self.machine, self.service_options),
+            kwargs={"enable_metrics": self.enable_metrics,
+                    "enable_tracing": self.enable_tracing,
+                    "reqlog_dir": self.reqlog_dir,
+                    "refresh_options": self.refresh_options,
+                    "generation": generation,
+                    "fault_plan": self._fault_plan},
+            daemon=True,
+            name=f"plan-worker-{index}",
+        )
+        process.start()
+        child_end.close()
+        return _WorkerHandle(index=index, process=process, pipe=parent_end,
+                             generation=generation)
 
     def _bind(self) -> socket.socket:
         address = self._requested_address
@@ -298,10 +438,57 @@ class PlanServer:
                 conn, _ = self._listener.accept()
             except OSError:
                 return  # listener closed by stop()
-            handed_off = False
-            for offset in range(len(self._workers)):
-                handle = self._workers[(turn + offset) % len(self._workers)]
+            turn, handed_off = self._deal_connection(conn, turn)
+            conn.close()  # worker holds its own duplicate now (or no one will)
+            if handed_off:
+                continue
+            if all(h.dead or not h.process.is_alive()
+                   for h in self._workers) and not self._restart_possible():
+                return  # nobody can ever serve again
+
+    def _deal_connection(self, conn: socket.socket,
+                         turn: int) -> Tuple[int, bool]:
+        """Deal one accepted connection to a live worker (round-robin).
+
+        A failed hand-off — the worker died between the announcement and the
+        fd transfer, or a ``torn_handoff`` fault corrupted the transfer —
+        retires that worker and moves the *same* connection to the next
+        survivor, so an accepted request is never lost to a worker death.
+        When no worker is currently live but supervision may yet revive one,
+        the dealer waits (bounded) instead of dropping the connection.
+
+        Returns:
+            ``(next_turn, handed_off)``.
+        """
+        deadline = time.monotonic() + 5.0
+        while True:
+            workers = self._workers
+            for offset in range(len(workers)):
+                handle = workers[(turn + offset) % len(workers)]
                 if handle.dead or not handle.process.is_alive():
+                    continue
+                fault = None
+                if self._fault_plan:
+                    fault = self._fault_plan.match(
+                        handle.index, handle.generation, handle.handoffs,
+                        actions=PARENT_ACTIONS)
+                handle.handoffs += 1
+                if fault is not None and fault.action == FAULT_TORN_HANDOFF:
+                    # Announce a connection, then send plain pipe bytes where
+                    # the worker expects SCM_RIGHTS ancillary data: its
+                    # recv_handle fails, it exits, and this loop re-deals the
+                    # connection to the next survivor.
+                    log_event(_LOG, "serve.fault.torn_handoff",
+                              worker=handle.index,
+                              generation=handle.generation)
+                    try:
+                        with handle.lock:
+                            handle.pipe.send(("conn",))
+                            handle.pipe.send(("torn",))
+                    except (OSError, ValueError):
+                        pass
+                    with handle.lock:
+                        handle.mark_dead()
                     continue
                 try:
                     with handle.lock:
@@ -315,13 +502,82 @@ class PlanServer:
                     with handle.lock:
                         handle.mark_dead()
                     continue
-                turn = (turn + offset + 1) % len(self._workers)
-                handed_off = True
-                break
-            conn.close()  # worker holds its own duplicate now (or no one will)
-            if not handed_off and all(
-                    h.dead or not h.process.is_alive() for h in self._workers):
-                return
+                return (turn + offset + 1) % len(workers), True
+            # No live worker this pass: wait for supervision to revive one
+            # (bounded), unless nothing can come back.
+            if (self._stopped or not self._restart_possible()
+                    or time.monotonic() >= deadline):
+                return turn, False
+            time.sleep(0.005)
+
+    # ------------------------------------------------------------------ #
+    # supervision
+    # ------------------------------------------------------------------ #
+    def _restart_possible(self) -> bool:
+        """Whether supervision may yet bring a worker back."""
+        if not self.auto_restart or self._stopped:
+            return False
+        return any(not state.abandoned
+                   for state in self._restart_states.values())
+
+    def _supervise_loop(self) -> None:
+        """Detect dead workers and re-fork them, storm-limited by policy."""
+        while not self._stopped:
+            for slot, handle in enumerate(list(self._workers)):
+                if self._stopped:
+                    break
+                state = self._restart_states[handle.index]
+                if state.abandoned:
+                    continue
+                if not handle.dead and handle.process.is_alive():
+                    continue
+                due = self._pending_restarts.get(handle.index)
+                if due is None:
+                    delay = state.record_death()
+                    with handle.lock:
+                        handle.mark_dead()
+                    if delay is None:
+                        log_event(_LOG, "serve.worker.abandoned",
+                                  worker=handle.index,
+                                  generation=handle.generation,
+                                  deaths=len(state.deaths))
+                        continue
+                    self._pending_restarts[handle.index] = (
+                        time.monotonic() + delay)
+                elif time.monotonic() >= due:
+                    del self._pending_restarts[handle.index]
+                    self._restart_worker(slot, handle)
+            time.sleep(0.02)
+
+    def _restart_worker(self, slot: int, old: _WorkerHandle) -> None:
+        """Replace one dead worker with a fresh fork of the next generation."""
+        try:
+            old.process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already reaped
+            pass
+        old.process.join(timeout=1.0)
+        handle = self._spawn_worker(old.index, generation=old.generation + 1)
+        self._workers[slot] = handle
+        with self._supervisor_lock:
+            self._restart_counts[old.index] = (
+                self._restart_counts.get(old.index, 0) + 1)
+        if self._parent_metrics is not None:
+            self._parent_metrics.counter(
+                "repro_serve_worker_restarts_total",
+                help="Workers re-forked by the parent supervisor.",
+                worker=str(old.index)).inc()
+        log_event(_LOG, "serve.worker.restart", worker=old.index,
+                  generation=handle.generation, pid=handle.process.pid or 0)
+
+    def restart_counts(self) -> Dict[int, int]:
+        """Supervised restarts per worker index (empty when none happened)."""
+        with self._supervisor_lock:
+            return dict(self._restart_counts)
+
+    def abandoned_workers(self) -> List[int]:
+        """Worker indices supervision gave up on (storm limit tripped)."""
+        return sorted(index for index, state in self._restart_states.items()
+                      if state.abandoned)
 
     def stop(self, timeout: float = 5.0) -> None:
         """Shut the fleet down: stop accepting, drain workers, reap processes.
@@ -335,6 +591,10 @@ class PlanServer:
             self._stopped = True
             return
         self._stopped = True
+        # Supervision must wind down before workers are told to exit, or a
+        # shutting-down worker would be "detected dead" and resurrected.
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=timeout)
         if self._listener is not None:
             # shutdown() before close(): a bare close() does not wake a thread
             # blocked in accept() on Linux, which would stall stop() until the
@@ -435,7 +695,8 @@ class PlanServer:
                             break
             except (OSError, EOFError, ValueError):
                 continue
-        return ServerStats.from_workers(snapshots)
+        return ServerStats.from_workers(snapshots,
+                                        restarts=self.restart_counts())
 
     def aggregate_metrics(self, timeout: float = 10.0) -> Dict[str, object]:
         """Collect and merge every live worker's metrics-registry snapshot.
@@ -443,8 +704,9 @@ class PlanServer:
         Same control-pipe round-trip discipline as :meth:`aggregate_stats`;
         per-worker snapshots merge by summation
         (:func:`repro.obs.metrics.merge_snapshots`), so counters and
-        histograms read as fleet totals.  A fleet started without
-        ``enable_metrics`` returns an empty snapshot.
+        histograms read as fleet totals.  The parent's own supervision
+        counters (``repro_serve_worker_restarts_total``) merge in too.  A
+        fleet started without ``enable_metrics`` returns an empty snapshot.
 
         Args:
             timeout: per-worker ceiling on waiting for the reply, seconds.
@@ -477,6 +739,8 @@ class PlanServer:
                             break
             except (OSError, EOFError, ValueError):
                 continue
+        if self._parent_metrics is not None:
+            snapshots.append(self._parent_metrics.snapshot())
         return merge_snapshots(snapshots)
 
 
@@ -531,7 +795,9 @@ def _worker_main(index: int, ctrl, unwanted, listener,
                  enable_metrics: bool = False,
                  enable_tracing: bool = False,
                  reqlog_dir: Optional[str] = None,
-                 refresh_options: Optional[Dict[str, object]] = None) -> None:
+                 refresh_options: Optional[Dict[str, object]] = None,
+                 generation: int = 0,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
     """Entry point of one forked worker (runs until told to shut down).
 
     Args:
@@ -551,6 +817,11 @@ def _worker_main(index: int, ctrl, unwanted, listener,
             per-worker background refresher with these kwargs — constructed
             here, after the fork, so its daemon threads belong to this
             process.
+        generation: which incarnation of this worker slot this process is
+            (0 at boot; bumped per supervised restart).  Echoed in every
+            response so clients can observe restarts.
+        fault_plan: deterministic faults to inject while serving — matched
+            per decoded request against ``(index, generation, ordinal)``.
     """
     for conn in unwanted:
         try:
@@ -570,12 +841,16 @@ def _worker_main(index: int, ctrl, unwanted, listener,
                              refresh_options=refresh_options,
                              **service_options)  # type: ignore[arg-type]
     log_event(_LOG, "serve.worker.start", worker=index, pid=os.getpid(),
-              metrics=enable_metrics, tracing=enable_tracing,
-              reqlog=reqlog_dir or "", refresh=refresh_options is not None)
+              generation=generation, metrics=enable_metrics,
+              tracing=enable_tracing, reqlog=reqlog_dir or "",
+              refresh=refresh_options is not None)
     selector = selectors.DefaultSelector()
     selector.register(ctrl, selectors.EVENT_READ, data="ctrl")
     connections: Dict[int, _Connection] = {}
     running = True
+    # Per-incarnation request ordinal: the deterministic coordinate faults
+    # are keyed on.  Counts every decoded client request, answered or not.
+    request_ordinal = 0
 
     def close_connection(fd: int) -> None:
         conn = connections.pop(fd)
@@ -635,8 +910,42 @@ def _worker_main(index: int, ctrl, unwanted, listener,
                     close_connection(fd)
                     continue
                 for message in messages:
+                    fault = None
+                    if fault_plan:
+                        fault = fault_plan.match(index, generation,
+                                                 request_ordinal,
+                                                 actions=WORKER_ACTIONS)
+                    request_ordinal += 1
+                    if fault is not None:
+                        log_event(_LOG, "serve.fault.fire", worker=index,
+                                  generation=generation, action=fault.action,
+                                  ordinal=request_ordinal - 1)
+                        if fault.action == FAULT_EXIT:
+                            # Simulated crash: no reply, no cleanup, a
+                            # distinctive exit code the supervisor test can
+                            # assert on.  os._exit skips the finally block
+                            # on purpose — that is what dying looks like.
+                            os._exit(FAULT_EXIT_CODE)
+                        if fault.action == FAULT_DROP:
+                            close_connection(fd)
+                            break
+                        if fault.action == FAULT_TORN:
+                            # A header promising more bytes than follow: the
+                            # client's decoder sees a truncated frame when
+                            # the close lands.
+                            torn = protocol.HEADER.pack(64) + b"\x00" * 10
+                            try:
+                                conn.sock.setblocking(True)
+                                conn.sock.sendall(torn)
+                            except OSError:
+                                pass
+                            close_connection(fd)
+                            break
+                        if fault.action == FAULT_DELAY:
+                            time.sleep(fault.delay_seconds)
                     response = _dispatch(index, service, message,
-                                         tracer=tracer, metrics=metrics)
+                                         tracer=tracer, metrics=metrics,
+                                         generation=generation)
                     try:
                         conn.outbuf.extend(protocol.encode_frame(response))
                     except protocol.ProtocolError:  # pragma: no cover - oversized
@@ -712,7 +1021,8 @@ def _worker_snapshot(index: int, service: PlannerService) -> WorkerStats:
 def _dispatch(index: int, service: PlannerService,
               message: Dict[str, object],
               tracer: Optional[Tracer] = None,
-              metrics: Optional[MetricsRegistry] = None) -> Dict[str, object]:
+              metrics: Optional[MetricsRegistry] = None,
+              generation: int = 0) -> Dict[str, object]:
     """Answer one decoded request; failures become error responses.
 
     A ``plan`` request carrying a ``trace`` context on a tracing-enabled
@@ -740,10 +1050,11 @@ def _dispatch(index: int, service: PlannerService,
                         response = service.plan(workload, top_k=top_k)
                 return protocol.ok_response(protocol.plan_response_payload(
                     response, index, os.getpid(), trace_id=trace_id,
-                    spans=tracer.drain(trace_id)))
+                    spans=tracer.drain(trace_id), generation=generation))
             response = service.plan(workload, top_k=top_k)
             return protocol.ok_response(
-                protocol.plan_response_payload(response, index, os.getpid()))
+                protocol.plan_response_payload(response, index, os.getpid(),
+                                               generation=generation))
         if op == "plan_graph":
             graph = OpGraph.from_dict(message["graph"])  # type: ignore[arg-type]
             raw_lattice = message.get("lattice_size")
@@ -759,12 +1070,15 @@ def _dispatch(index: int, service: PlannerService,
                                                       lattice_size=lattice)
                 return protocol.ok_response(protocol.graph_plan_response_payload(
                     response, index, os.getpid(), trace_id=trace_id,
-                    spans=tracer.drain(trace_id)))
+                    spans=tracer.drain(trace_id), generation=generation))
             response = service.plan_graph(graph, lattice_size=lattice)
             return protocol.ok_response(
-                protocol.graph_plan_response_payload(response, index, os.getpid()))
+                protocol.graph_plan_response_payload(response, index,
+                                                     os.getpid(),
+                                                     generation=generation))
         if op == "ping":
             return protocol.ok_response({"worker": index, "pid": os.getpid(),
+                                         "generation": generation,
                                          "protocol": list(protocol.PROTOCOL_VERSION)})
         if op == "stats":
             return protocol.ok_response(_worker_snapshot(index, service).to_dict())

@@ -13,7 +13,7 @@ total requests, total hits, how the warm traffic spread across workers.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.planner.cache import CacheStats
@@ -95,18 +95,35 @@ class ServerStats:
 
     workers: List[WorkerStats]
     totals: ServiceStats
+    #: Supervised restarts per worker index (parent-side accounting: a
+    #: restarted worker starts its counters from zero, so its deaths are
+    #: only visible here).  Empty when supervision never restarted anyone.
+    restarts: Dict[int, int] = field(default_factory=dict)
 
     @classmethod
-    def from_workers(cls, workers: Sequence[WorkerStats]) -> "ServerStats":
-        """Aggregate a set of per-worker snapshots."""
+    def from_workers(cls, workers: Sequence[WorkerStats],
+                     restarts: Optional[Dict[int, int]] = None) -> "ServerStats":
+        """Aggregate a set of per-worker snapshots.
+
+        Args:
+            workers: the per-worker counter snapshots that answered.
+            restarts: the parent's per-worker restart counts, when the
+                server runs supervised (``None`` keeps the field empty).
+        """
         ordered = sorted(workers, key=lambda w: w.worker)
         return cls(workers=list(ordered),
-                   totals=aggregate_service_stats([w.service for w in ordered]))
+                   totals=aggregate_service_stats([w.service for w in ordered]),
+                   restarts=dict(restarts or {}))
 
     @property
     def num_workers(self) -> int:
         """How many workers reported."""
         return len(self.workers)
+
+    @property
+    def total_restarts(self) -> int:
+        """Supervised worker restarts across the fleet's lifetime."""
+        return sum(self.restarts.values())
 
     @property
     def workers_with_hits(self) -> int:
@@ -136,18 +153,22 @@ class ServerStats:
         lines = []
         for snap in self.workers:
             svc = snap.service
+            restarted = self.restarts.get(snap.worker, 0)
+            suffix = f", {restarted} restarts" if restarted else ""
             lines.append(
                 f"worker {snap.worker} (pid {snap.pid}): {svc.requests} requests, "
                 f"{svc.plans_computed} planned, {svc.cache_hits} hits "
                 f"({svc.hit_rate:.0%}), {svc.coalesced_requests} coalesced, "
-                f"cache {snap.cache.size}/{snap.cache.capacity} entries"
+                f"cache {snap.cache.size}/{snap.cache.capacity} entries{suffix}"
             )
         totals = self.totals
+        restart_note = (f", {self.total_restarts} worker restarts"
+                        if self.total_restarts else "")
         lines.append(
             f"fleet ({self.num_workers} workers): {totals.requests} requests, "
             f"{totals.plans_computed} planned, {totals.cache_hits} hits "
             f"({totals.hit_rate:.0%}), {totals.candidates_pruned} of "
             f"{totals.candidates_pruned + totals.candidates_simulated} "
-            f"candidate simulations pruned"
+            f"candidate simulations pruned{restart_note}"
         )
         return "\n".join(lines)
